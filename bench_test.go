@@ -1,0 +1,169 @@
+// Benchmarks regenerating each figure of the paper's evaluation at reduced
+// scale (Options.Scale shrinks the device and footprint together, keeping
+// capacity ratios, parallelism, and utilization). Shapes — who wins, by
+// roughly what factor, where the trends point — match the full-scale runs
+// recorded in EXPERIMENTS.md; absolute times do not, by design.
+//
+// Each benchmark iteration executes the complete sweep and reports the mean
+// response time of representative cells as custom metrics, so regressions in
+// simulated performance (not just wall time) are visible in benchstat.
+package dloop_test
+
+import (
+	"testing"
+
+	"dloop"
+)
+
+// benchOptions shrinks runs so one sweep iteration stays in the seconds
+// range on a laptop.
+func benchOptions() dloop.Options {
+	return dloop.Options{
+		Requests: 4000,
+		Scale:    0.02,
+		Seed:     42,
+	}
+}
+
+func reportCell(b *testing.B, g *dloop.Grid, series, x, metric string) {
+	b.Helper()
+	if v, ok := g.Get(series, x); ok {
+		b.ReportMetric(v, metric)
+	}
+}
+
+// BenchmarkFig8 regenerates the capacity sweep (Fig. 8: mean response time
+// and SDRPP vs 4-64 GB for five traces and three FTLs).
+func BenchmarkFig8(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		mrt, sdrpp, err := dloop.Fig8(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCell(b, mrt, "Financial1/DLOOP", "4", "DLOOP@4GB-ms")
+			reportCell(b, mrt, "Financial1/DFTL", "4", "DFTL@4GB-ms")
+			reportCell(b, mrt, "Financial1/FAST", "4", "FAST@4GB-ms")
+			reportCell(b, sdrpp, "Financial1/DLOOP", "4", "DLOOP@4GB-sdrpp")
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the page-size sweep (Fig. 9: 2-16 KB at 8 GB).
+func BenchmarkFig9(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		mrt, _, err := dloop.Fig9(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCell(b, mrt, "Financial1/DLOOP", "2", "DLOOP@2KB-ms")
+			reportCell(b, mrt, "Financial1/DLOOP", "16", "DLOOP@16KB-ms")
+			reportCell(b, mrt, "Financial1/DFTL", "2", "DFTL@2KB-ms")
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the extra-blocks sweep (Fig. 10: 3-10% at 8 GB).
+func BenchmarkFig10(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		mrt, _, err := dloop.Fig10(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCell(b, mrt, "Financial1/DLOOP", "3%", "DLOOP@3pct-ms")
+			reportCell(b, mrt, "Financial1/FAST", "3%", "FAST@3pct-ms")
+			reportCell(b, mrt, "Financial1/FAST", "10%", "FAST@10pct-ms")
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the §I improvement ratios (average DLOOP
+// gain over DFTL and FAST, derived from the Fig. 8 sweep).
+func BenchmarkHeadline(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		mrt, _, err := dloop.Fig8(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := dloop.Headline(mrt)
+		if i == b.N-1 {
+			reportCell(b, h, "vs DFTL", "4", "vsDFTL@4GB-pct")
+			reportCell(b, h, "vs FAST", "4", "vsFAST@4GB-pct")
+		}
+	}
+}
+
+// BenchmarkAblationCopyback runs the E5 ablation: DLOOP with copy-back GC
+// moves versus forced external moves on Financial1.
+func BenchmarkAblationCopyback(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		g, err := dloop.AblationCopyback(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCell(b, g, "DLOOP copy-back", "4", "copyback@4GB-ms")
+			reportCell(b, g, "DLOOP external", "4", "external@4GB-ms")
+		}
+	}
+}
+
+// BenchmarkParityReport runs the E6 same-parity waste measurement.
+func BenchmarkParityReport(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		g, err := dloop.ParityReport(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCell(b, g, "waste per 100 moves", "Financial1", "waste-per-100")
+		}
+	}
+}
+
+// BenchmarkHotPlane runs the E7 adaptive-GC extension comparison.
+func BenchmarkHotPlane(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		g, err := dloop.HotPlane(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCell(b, g, "DLOOP", "p99 ms", "stock-p99-ms")
+			reportCell(b, g, "DLOOP+adaptive", "p99 ms", "adaptive-p99-ms")
+		}
+	}
+}
+
+// BenchmarkSimulateThroughput measures raw simulator speed: host requests
+// simulated per wall-clock second on one mid-size DLOOP configuration.
+func BenchmarkSimulateThroughput(b *testing.B) {
+	cfg := dloop.Config{CapacityGB: 4, FTL: dloop.SchemeDLOOP}
+	p := dloop.Financial1().ScaleFootprint(0.05)
+	ssd, err := dloop.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ssd.PreconditionBytes(p.FootprintBytes); err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := dloop.GenerateTrace(p, 42, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ssd.Serve(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

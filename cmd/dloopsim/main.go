@@ -1,0 +1,133 @@
+// Command dloopsim runs one SSD simulation and prints a detailed report.
+// The workload is either one of the paper's five synthetic profiles or a
+// trace file in DiskSim ASCII or SPC-1 CSV format.
+//
+// Usage:
+//
+//	dloopsim -ftl DLOOP -capacity 8 -trace Financial1 -requests 200000
+//	dloopsim -ftl FAST -tracefile f1.spc -format spc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dloop"
+	"dloop/internal/ssd"
+	"dloop/internal/trace"
+)
+
+func main() {
+	var (
+		ftlName   = flag.String("ftl", "DLOOP", "FTL scheme: DLOOP|DFTL|FAST|BAST|PureMap|PureMap-striped")
+		capacity  = flag.Int("capacity", 8, "SSD capacity in GB (4/8/16/32/64)")
+		pageKB    = flag.Int("page", 2, "page size in KB (2/4/8/16)")
+		extraPct  = flag.Float64("extra", 0.03, "extra blocks as a fraction of data blocks")
+		traceName = flag.String("trace", "Financial1", "synthetic workload: Financial1|Financial2|TPC-C|Exchange|Build")
+		traceFile = flag.String("tracefile", "", "replay a trace file instead of a synthetic workload")
+		format    = flag.String("format", "disksim", "trace file format: disksim|spc")
+		requests  = flag.Int("requests", 200_000, "synthetic requests to replay")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		footprint = flag.Int64("footprint", 0, "precondition footprint in MiB (0 = workload default)")
+		nocb      = flag.Bool("no-copyback", false, "DLOOP E5 ablation: external GC moves")
+		adaptive  = flag.Bool("adaptive-gc", false, "DLOOP E7 extension: hot-plane-aware GC thresholds")
+		stripeBy  = flag.String("stripe-by", "", "DLOOP E8 ablation: plane|die|chip|channel")
+		bufPages  = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
+	)
+	flag.Parse()
+
+	cfg := dloop.Config{
+		CapacityGB:      *capacity,
+		PageSizeKB:      *pageKB,
+		ExtraPct:        *extraPct,
+		FTL:             *ftlName,
+		DisableCopyBack: *nocb,
+		AdaptiveGC:      *adaptive,
+		StripeBy:        *stripeBy,
+		BufferPages:     *bufPages,
+	}
+
+	start := time.Now()
+	var res dloop.Result
+	var err error
+	if *traceFile != "" {
+		res, err = replayFile(cfg, *traceFile, *format, *footprint)
+	} else {
+		p, ok := dloop.WorkloadByName(*traceName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dloopsim: unknown trace %q\n", *traceName)
+			os.Exit(1)
+		}
+		if *footprint > 0 {
+			p.FootprintBytes = *footprint << 20
+		}
+		res, err = dloop.Simulate(cfg, p, *requests, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dloopsim:", err)
+		os.Exit(1)
+	}
+	report(res, time.Since(start))
+}
+
+func replayFile(cfg dloop.Config, path, format string, footprintMiB int64) (dloop.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return dloop.Result{}, err
+	}
+	defer f.Close()
+	var r trace.Reader
+	switch format {
+	case "disksim":
+		r = trace.NewDiskSimReader(f)
+	case "spc":
+		r = trace.NewSPCReader(f)
+	default:
+		return dloop.Result{}, fmt.Errorf("unknown format %q", format)
+	}
+	reqs, err := trace.ReadAll(r)
+	if err != nil {
+		return dloop.Result{}, err
+	}
+	st := trace.Summarize(reqs)
+	fmt.Printf("trace: %s\n", st)
+
+	c, err := ssd.Build(cfg)
+	if err != nil {
+		return dloop.Result{}, err
+	}
+	footprint := st.MaxEnd * trace.SectorSize
+	if footprintMiB > 0 {
+		footprint = footprintMiB << 20
+	}
+	if err := c.PreconditionBytes(footprint); err != nil {
+		return dloop.Result{}, err
+	}
+	return c.Run(trace.NewSliceReader(reqs))
+}
+
+func report(res dloop.Result, wall time.Duration) {
+	fmt.Printf("FTL:                 %s\n", res.FTL)
+	fmt.Printf("requests:            %d (%d page reads, %d page writes)\n", res.Requests, res.PagesRead, res.PagesWrit)
+	fmt.Printf("simulated time:      %.1f s\n", res.SimulatedS)
+	fmt.Printf("mean response time:  %.3f ms (std %.3f, p50 %.3f, p99 %.3f, max %.3f)\n",
+		res.MeanRespMs, res.StdRespMs, res.P50Ms, res.P99Ms, res.MaxRespMs)
+	fmt.Printf("  reads %.3f ms / writes %.3f ms\n", res.ReadMeanMs, res.WriteMeanMs)
+	fmt.Printf("SDRPP (ln):          %.2f over %d planes\n", res.SDRPP, len(res.PlaneOps))
+	fmt.Printf("flash ops:           %d reads, %d writes, %d copy-backs, %d erases\n",
+		res.Reads, res.Writes, res.CopyBacks, res.Erases)
+	fmt.Printf("GC:                  %d runs, %d copy-back moves, %d external moves, %d parity-wasted pages\n",
+		res.GCRuns, res.GCCopyBacks, res.GCExternalMoves, res.WastedPages)
+	if res.TransReads+res.TransWrites > 0 {
+		fmt.Printf("mapping:             CMT hit %.1f%%, %d translation reads, %d translation writes\n",
+			100*res.CMTHitRate, res.TransReads, res.TransWrites)
+	}
+	if res.SwitchMerges+res.PartialMerges+res.FullMerges > 0 {
+		fmt.Printf("merges:              %d switch, %d partial, %d full (%d pages copied)\n",
+			res.SwitchMerges, res.PartialMerges, res.FullMerges, res.MergeCopies)
+	}
+	fmt.Printf("wear:                %d erases total, CV %.3f\n", res.TotalErases, res.WearCV)
+	fmt.Printf("wall time:           %v\n", wall.Round(time.Millisecond))
+}

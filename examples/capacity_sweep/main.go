@@ -1,0 +1,46 @@
+// Capacity sweep: a miniature rendition of the paper's Fig. 8 — how mean
+// response time and plane-load balance change as the SSD grows from 4 GB to
+// 64 GB while the workload stays the same. Larger SSDs delay garbage
+// collection (the footprint is a smaller fraction of the device), so
+// response times fall for every FTL, with DLOOP in front throughout.
+//
+//	go run ./examples/capacity_sweep
+//	go run ./examples/capacity_sweep -scale 1 -requests 400000   # paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dloop"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "device+footprint scale (1 = paper scale)")
+	requests := flag.Int("requests", 20_000, "requests per run")
+	flag.Parse()
+
+	opt := dloop.Options{
+		Requests: *requests,
+		Scale:    *scale,
+		Progress: func(s string) { fmt.Fprintln(os.Stderr, s) },
+	}
+	mrt, sdrpp, err := dloop.Fig8(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := mrt.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := sdrpp.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := dloop.Headline(mrt).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: build an 8 GB SSD with each of the three FTLs, replay the
+// same synthetic Financial1 workload, and compare the paper's two metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dloop"
+)
+
+func main() {
+	// Scale the device and the workload footprint together (1/20th of paper
+	// scale): utilization stays at Financial1's ~80%, so garbage collection
+	// is live, and the example finishes in seconds. Set scale to 1 (and
+	// raise requests) for paper-scale numbers.
+	const scale = 0.05
+	geo, err := dloop.ScaledGeometryFor(4, 2, 0.03, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := dloop.Financial1().ScaleFootprint(scale)
+	const requests = 100_000
+	const seed = 42
+
+	fmt.Printf("workload: %s, %d requests, footprint %d MiB\n\n",
+		profile.Name, requests, profile.FootprintBytes>>20)
+	fmt.Printf("%-8s %14s %10s %12s %12s\n", "FTL", "mean resp (ms)", "SDRPP", "GC moves", "bus-free %")
+
+	for _, scheme := range dloop.Schemes() {
+		cfg := dloop.Config{
+			FTL:        scheme,
+			Geometry:   &geo,
+			CMTEntries: 256, // scale the SRAM cache with the device
+		}
+		res, err := dloop.Simulate(cfg, profile, requests, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		moves := res.GCCopyBacks + res.GCExternalMoves + res.MergeCopies
+		busFree := 0.0
+		if moves > 0 {
+			busFree = 100 * float64(res.GCCopyBacks) / float64(moves)
+		}
+		fmt.Printf("%-8s %14.3f %10.2f %12d %11.1f%%\n",
+			scheme, res.MeanRespMs, res.SDRPP, moves, busFree)
+	}
+
+	fmt.Println("\nDLOOP should have the lowest mean response time and SDRPP:")
+	fmt.Println("its garbage collection relocates pages with intra-plane copy-back")
+	fmt.Println("(225 µs, no bus), while DFTL and FAST move pages through the")
+	fmt.Println("serial bus and channel (325 µs each, blocking other requests).")
+}

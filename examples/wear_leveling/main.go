@@ -1,0 +1,44 @@
+// Wear leveling: §III.C claims that directing every update to the plane of
+// its original data "implicitly wear-levels all blocks on one plane without
+// an external wear-leveling mechanism". This example measures that claim:
+// it runs the locality-heavy Financial1 workload on all three FTLs and
+// compares how evenly block erases spread (coefficient of variation of
+// per-block erase counts — lower is more even) alongside SDRPP, the paper's
+// plane-level balance metric.
+//
+//	go run ./examples/wear_leveling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dloop"
+)
+
+func main() {
+	const scale = 0.05
+	geo, err := dloop.ScaledGeometryFor(4, 2, 0.03, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := dloop.Financial1().ScaleFootprint(scale)
+	const requests = 150_000
+
+	fmt.Printf("workload: %s (Zipf-skewed updates), %d requests\n\n", profile.Name, requests)
+	fmt.Printf("%-8s %12s %10s %12s %14s\n", "FTL", "erases", "wear CV", "SDRPP", "mean resp ms")
+
+	for _, scheme := range dloop.Schemes() {
+		cfg := dloop.Config{FTL: scheme, Geometry: &geo, CMTEntries: 256}
+		res, err := dloop.Simulate(cfg, profile, requests, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12d %10.3f %12.2f %14.3f\n",
+			scheme, res.TotalErases, res.WearCV, res.SDRPP, res.MeanRespMs)
+	}
+
+	fmt.Println("\nDLOOP's striping spreads both host load (SDRPP) and erase wear")
+	fmt.Println("across planes; DFTL and FAST concentrate early allocation on")
+	fmt.Println("low-numbered planes, skewing both metrics.")
+}

@@ -1,0 +1,3 @@
+module dloop
+
+go 1.22

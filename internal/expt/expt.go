@@ -1,0 +1,159 @@
+// Package expt regenerates every table and figure of the paper's evaluation
+// (§V): the capacity sweep (Fig. 8), the page-size sweep (Fig. 9), the
+// extra-blocks sweep (Fig. 10), the headline improvement ratios (§I, §V.B),
+// and this reproduction's ablations (copy-back on/off, parity-waste
+// accounting, hot-plane adaptive GC). Each experiment preconditions the
+// device with the workload's footprint, replays a deterministic synthetic
+// trace, and reports the paper's two metrics: mean response time and SDRPP.
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dloop/internal/ssd"
+	"dloop/internal/workload"
+)
+
+// Options tune how much work an experiment does.
+type Options struct {
+	// Requests per run (default 400,000; the paper replays 0.4M-5.3M).
+	Requests int
+	// Seed for the workload generators (default 42). Every run of an
+	// experiment uses the same seed so FTLs see identical request streams.
+	Seed int64
+	// Workers bounds concurrent runs (default: NumCPU, min 1).
+	Workers int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+	// Scale shrinks workload footprints and request counts together for
+	// quick runs (default 1.0 = paper scale). Capacities shrink too, via
+	// mini geometries, when Scale < 1.
+	Scale float64
+}
+
+func (o *Options) setDefaults() {
+	if o.Requests == 0 {
+		o.Requests = 400_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes one simulation: build the SSD, precondition the workload's
+// footprint, replay the trace, return the results.
+func Run(cfg ssd.Config, profile workload.Profile, requests int, seed int64) (ssd.Result, error) {
+	c, err := ssd.Build(cfg)
+	if err != nil {
+		return ssd.Result{}, fmt.Errorf("expt: build %s: %w", cfg.FTL, err)
+	}
+	if err := c.PreconditionBytes(profile.FootprintBytes); err != nil {
+		return ssd.Result{}, fmt.Errorf("expt: precondition %s/%s: %w", cfg.FTL, profile.Name, err)
+	}
+	gen, err := workload.NewGenerator(profile, seed)
+	if err != nil {
+		return ssd.Result{}, err
+	}
+	for i := 0; i < requests; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			return ssd.Result{}, err
+		}
+		if _, err := c.Serve(req); err != nil {
+			return ssd.Result{}, fmt.Errorf("expt: %s/%s request %d: %w", cfg.FTL, profile.Name, i, err)
+		}
+	}
+	return c.Result(), nil
+}
+
+// job is one (config, workload) cell of a sweep.
+type job struct {
+	key     string
+	series  string
+	x       string
+	cfg     ssd.Config
+	profile workload.Profile
+}
+
+// runAll executes jobs on a bounded worker pool, returning results by key.
+func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
+	opt.setDefaults()
+	results := make(map[string]ssd.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, opt.Workers)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			res, err := Run(j.cfg, j.profile, opt.Requests, opt.Seed)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			results[j.key] = res
+			opt.progress("done %-28s mean=%8.3f ms  sdrpp=%5.2f  gc=%d", j.key, res.MeanRespMs, res.SDRPP, res.GCRuns)
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// scaleProfile shrinks a workload for quick runs.
+func scaleProfile(p workload.Profile, scale float64) workload.Profile {
+	if scale >= 1 {
+		return p
+	}
+	return p.ScaleFootprint(scale)
+}
+
+// sortedKeys returns map keys in sorted order for deterministic rendering.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// footprintFits reports whether a workload's footprint fits the capacity a
+// configuration exports.
+func footprintFits(cfg ssd.Config, p workload.Profile) bool {
+	exported, err := ssd.ExportedBytes(cfg)
+	return err == nil && p.FootprintBytes <= exported
+}

@@ -1,0 +1,84 @@
+package flash
+
+import (
+	"testing"
+
+	"dloop/internal/sim"
+)
+
+func benchDevice(b *testing.B) *Device {
+	b.Helper()
+	g := Geometry{
+		Channels: 8, PackagesPerChannel: 1, ChipsPerPackage: 2,
+		DiesPerChip: 2, PlanesPerDie: 2, BlocksPerPlane: 256,
+		PagesPerBlock: 64, PageSize: 2048,
+	}
+	d, err := NewDevice(g, DefaultTiming())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkWriteErase measures the write-then-erase cycle, the inner loop of
+// every simulation.
+func BenchmarkWriteErase(b *testing.B) {
+	d := benchDevice(b)
+	g := d.Geometry()
+	var at sim.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb := PlaneBlock{Plane: i % g.Planes(), Block: (i / g.Planes()) % g.BlocksPerPlane}
+		first := g.FirstPPN(pb)
+		for p := 0; p < g.PagesPerBlock; p++ {
+			end, err := d.WritePage(first+PPN(p), int64(p), at, CauseHost)
+			if err != nil {
+				b.Fatal(err)
+			}
+			at = end
+			if err := d.Invalidate(first + PPN(p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		end, err := d.Erase(pb, at, CauseGC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = end
+	}
+}
+
+// BenchmarkCopyBack measures the intra-plane copy-back fast path: pages
+// ping-pong between two blocks on one plane, with an erase each time a
+// block drains.
+func BenchmarkCopyBack(b *testing.B) {
+	d := benchDevice(b)
+	g := d.Geometry()
+	var at sim.Time
+	for p := 0; p < g.PagesPerBlock; p++ {
+		end, err := d.WritePage(g.PPNOf(0, 0, p), int64(p), at, CauseHost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = end
+	}
+	b.ResetTimer()
+	srcBlock, dstBlock, page := 0, 1, 0
+	for i := 0; i < b.N; i++ {
+		from := g.PPNOf(0, srcBlock, page)
+		to := g.PPNOf(0, dstBlock, page)
+		end, err := d.CopyBack(from, to, at, CauseGC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at = end
+		page++
+		if page == g.PagesPerBlock {
+			if _, err := d.Erase(PlaneBlock{0, srcBlock}, at, CauseGC); err != nil {
+				b.Fatal(err)
+			}
+			srcBlock, dstBlock = dstBlock, srcBlock
+			page = 0
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package flash
+
+import (
+	"fmt"
+
+	"dloop/internal/sim"
+)
+
+// PageState is the lifecycle state of one physical page.
+type PageState uint8
+
+// Page lifecycle: erased pages are Free; programming makes them Valid;
+// out-of-place update or garbage collection makes the stale copy Invalid;
+// only erasing the whole block returns pages to Free.
+const (
+	PageFree PageState = iota
+	PageValid
+	PageInvalid
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// Cause labels who initiated a flash operation, so the device can attribute
+// load per plane (the paper's SDRPP metric) and overhead per activity.
+type Cause uint8
+
+const (
+	// CauseHost marks operations that directly serve a host request.
+	CauseHost Cause = iota
+	// CauseGC marks garbage-collection data movement and erases.
+	CauseGC
+	// CauseMap marks translation-page traffic (CMT misses and write-backs).
+	CauseMap
+	numCauses
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseHost:
+		return "host"
+	case CauseGC:
+		return "gc"
+	case CauseMap:
+		return "map"
+	default:
+		return fmt.Sprintf("Cause(%d)", uint8(c))
+	}
+}
+
+// BlockInfo summarizes the state of one physical block.
+type BlockInfo struct {
+	Valid     int // pages currently holding live data
+	Invalid   int // pages holding stale data
+	Written   int // pages programmed since last erase (Valid+Invalid)
+	Erases    int // lifetime erase count
+	NextWrite int // high-water mark: next sequentially programmable page
+}
+
+// Free returns the number of never-programmed pages remaining in the block.
+func (b BlockInfo) Free(pagesPerBlock int) int { return pagesPerBlock - b.Written }
+
+// Device is a simulated NAND flash SSD. It owns the page/block state machine
+// and the resource timelines, and it charges time for every operation. It is
+// not safe for concurrent use; the simulator is single-threaded per device,
+// like the event loop of DiskSim.
+type Device struct {
+	geo    Geometry
+	timing Timing
+
+	state  []PageState // indexed by PPN
+	lpns   []int64     // logical page stored at each PPN, -1 if none
+	blocks []BlockInfo // indexed by Geometry.BlockIndex
+
+	planes   []*sim.Resource // cell arrays + data registers
+	chipBus  []*sim.Resource // serial I/O bus shared by dies of one chip
+	channels []*sim.Resource // external channels shared by packages
+
+	stats Stats
+}
+
+// NewDevice builds an erased device with the given geometry and timing.
+func NewDevice(geo Geometry, timing Timing) (*Device, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		geo:    geo,
+		timing: timing,
+		state:  make([]PageState, geo.TotalPages()),
+		lpns:   make([]int64, geo.TotalPages()),
+		blocks: make([]BlockInfo, geo.TotalBlocks()),
+	}
+	for i := range d.lpns {
+		d.lpns[i] = -1
+	}
+	d.planes = make([]*sim.Resource, geo.Planes())
+	for i := range d.planes {
+		d.planes[i] = sim.NewResource(fmt.Sprintf("plane%d", i))
+	}
+	d.chipBus = make([]*sim.Resource, geo.Chips())
+	for i := range d.chipBus {
+		d.chipBus[i] = sim.NewResource(fmt.Sprintf("chipbus%d", i))
+	}
+	d.channels = make([]*sim.Resource, geo.Channels)
+	for i := range d.channels {
+		d.channels[i] = sim.NewResource(fmt.Sprintf("channel%d", i))
+	}
+	d.stats.init(geo)
+	return d, nil
+}
+
+// Geometry returns the device's physical shape.
+func (d *Device) Geometry() Geometry { return d.geo }
+
+// Timing returns the device's latency parameters.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Stats returns a snapshot of accumulated operation statistics.
+func (d *Device) Stats() Stats { return d.stats.snapshot() }
+
+// ResetStats zeroes all statistics and resource timelines while preserving
+// page and block state. The SSD controller calls it after preconditioning so
+// the measured run starts from a warmed device at simulated time zero.
+func (d *Device) ResetStats() {
+	for _, r := range d.planes {
+		r.Reset()
+	}
+	for _, r := range d.chipBus {
+		r.Reset()
+	}
+	for _, r := range d.channels {
+		r.Reset()
+	}
+	erases := d.stats.BlockErases // wear is physical state, survives the reset
+	d.stats.init(d.geo)
+	d.stats.BlockErases = erases
+}
+
+// PageState returns the state of a physical page.
+func (d *Device) PageState(ppn PPN) PageState { return d.state[ppn] }
+
+// PageLPN returns the logical page stored at ppn, or -1 if the page does not
+// hold live data.
+func (d *Device) PageLPN(ppn PPN) int64 { return d.lpns[ppn] }
+
+// Block returns a copy of the bookkeeping for one block.
+func (d *Device) Block(pb PlaneBlock) BlockInfo { return d.blocks[d.geo.BlockIndex(pb)] }
+
+// PlaneFreeAt reports when the plane's cell array next becomes idle.
+func (d *Device) PlaneFreeAt(plane int) sim.Time { return d.planes[plane].FreeAt() }
+
+func (d *Device) busFor(plane int) (chip, channel *sim.Resource) {
+	return d.chipBus[d.geo.ChipOfPlane(plane)], d.channels[d.geo.ChannelOfPlane(plane)]
+}
+
+// ReadPage performs an external page read: the plane reads the cell array
+// into its data register, then the page crosses the chip serial bus and the
+// channel to the controller. It returns the completion time.
+func (d *Device) ReadPage(ppn PPN, ready sim.Time, cause Cause) (sim.Time, error) {
+	if !d.geo.ValidPPN(ppn) {
+		return 0, fmt.Errorf("flash: read %w: ppn %d", ErrOutOfRange, ppn)
+	}
+	if d.state[ppn] != PageValid {
+		return 0, fmt.Errorf("flash: read ppn %d (%v): %w, page is %v",
+			ppn, d.geo.BlockOf(ppn), ErrReadInvalid, d.state[ppn])
+	}
+	plane := d.geo.PlaneOf(ppn)
+	pl := d.planes[plane]
+	chip, ch := d.busFor(plane)
+
+	// Cell array -> register occupies the plane alone.
+	_, cellDone := pl.Acquire(ready, d.timing.PageRead)
+	// Register -> controller occupies both buses; the plane's register is in
+	// use until the transfer drains, so the plane stays busy too.
+	_, end := sim.AcquireAll(cellDone, d.timing.Transfer(d.geo.PageSize), chip, ch, pl)
+
+	d.stats.note(opRead, cause, plane, end.Sub(ready))
+	return end, nil
+}
+
+// WritePage programs a free page with the given logical page. The page
+// crosses the channel and chip bus into the plane register, then the plane
+// programs the cell array. It returns the completion time.
+func (d *Device) WritePage(ppn PPN, lpn int64, ready sim.Time, cause Cause) (sim.Time, error) {
+	if !d.geo.ValidPPN(ppn) {
+		return 0, fmt.Errorf("flash: write %w: ppn %d", ErrOutOfRange, ppn)
+	}
+	if d.state[ppn] != PageFree {
+		return 0, fmt.Errorf("flash: write ppn %d (%v): %w, page is %v",
+			ppn, d.geo.BlockOf(ppn), ErrWriteNotFree, d.state[ppn])
+	}
+	plane := d.geo.PlaneOf(ppn)
+	pl := d.planes[plane]
+	chip, ch := d.busFor(plane)
+
+	// Controller -> register needs both buses and the plane register.
+	_, xferDone := sim.AcquireAll(ready, d.timing.Transfer(d.geo.PageSize), chip, ch, pl)
+	// Programming occupies the plane alone.
+	_, end := pl.Acquire(xferDone, d.timing.PageProgram)
+
+	d.program(ppn, lpn)
+	d.stats.note(opWrite, cause, plane, end.Sub(ready))
+	return end, nil
+}
+
+// CopyBack moves a valid page to a free page on the same plane using the
+// intra-plane copy-back (internal data move) command. It never touches the
+// chip bus or the channel. The vendor restriction applies: source and
+// destination in-block offsets must share parity, or ErrParity is returned.
+func (d *Device) CopyBack(src, dst PPN, ready sim.Time, cause Cause) (sim.Time, error) {
+	if !d.geo.ValidPPN(src) || !d.geo.ValidPPN(dst) {
+		return 0, fmt.Errorf("flash: copy-back %w: src %d dst %d", ErrOutOfRange, src, dst)
+	}
+	plane := d.geo.PlaneOf(src)
+	if plane != d.geo.PlaneOf(dst) {
+		return 0, fmt.Errorf("flash: copy-back src %v dst %v: %w",
+			d.geo.BlockOf(src), d.geo.BlockOf(dst), ErrCrossPlane)
+	}
+	if d.geo.PageOf(src)%2 != d.geo.PageOf(dst)%2 {
+		return 0, fmt.Errorf("flash: copy-back src page %d dst page %d: %w",
+			d.geo.PageOf(src), d.geo.PageOf(dst), ErrParity)
+	}
+	if d.state[src] != PageValid {
+		return 0, fmt.Errorf("flash: copy-back src ppn %d: %w, page is %v", src, ErrReadInvalid, d.state[src])
+	}
+	if d.state[dst] != PageFree {
+		return 0, fmt.Errorf("flash: copy-back dst ppn %d: %w, page is %v", dst, ErrWriteNotFree, d.state[dst])
+	}
+
+	pl := d.planes[plane]
+	_, end := pl.Acquire(ready, d.timing.CopyBack())
+
+	lpn := d.lpns[src]
+	d.invalidate(src)
+	d.program(dst, lpn)
+	d.stats.note(opCopyBack, cause, plane, end.Sub(ready))
+	return end, nil
+}
+
+// Erase erases a whole block, returning every page to Free. The caller (the
+// FTL's garbage collector) is responsible for having relocated valid pages;
+// erasing a block that still holds valid data returns ErrEraseValid.
+func (d *Device) Erase(pb PlaneBlock, ready sim.Time, cause Cause) (sim.Time, error) {
+	if !d.geo.ValidBlock(pb) {
+		return 0, fmt.Errorf("flash: erase %w: %v", ErrOutOfRange, pb)
+	}
+	bi := d.geo.BlockIndex(pb)
+	if d.blocks[bi].Valid > 0 {
+		return 0, fmt.Errorf("flash: erase %v: %w (%d valid pages)", pb, ErrEraseValid, d.blocks[bi].Valid)
+	}
+	pl := d.planes[pb.Plane]
+	_, end := pl.Acquire(ready, d.timing.BlockErase)
+
+	first := d.geo.FirstPPN(pb)
+	for p := 0; p < d.geo.PagesPerBlock; p++ {
+		d.state[first+PPN(p)] = PageFree
+		d.lpns[first+PPN(p)] = -1
+	}
+	d.blocks[bi].Valid = 0
+	d.blocks[bi].Invalid = 0
+	d.blocks[bi].Written = 0
+	d.blocks[bi].NextWrite = 0
+	d.blocks[bi].Erases++
+	d.stats.BlockErases[bi]++
+	d.stats.note(opErase, cause, pb.Plane, end.Sub(ready))
+	return end, nil
+}
+
+// Invalidate marks a valid page stale without consuming simulated time; it
+// models the metadata update an FTL performs when it supersedes a page.
+func (d *Device) Invalidate(ppn PPN) error {
+	if !d.geo.ValidPPN(ppn) {
+		return fmt.Errorf("flash: invalidate %w: ppn %d", ErrOutOfRange, ppn)
+	}
+	if d.state[ppn] != PageValid {
+		return fmt.Errorf("flash: invalidate ppn %d: %w, page is %v", ppn, ErrReadInvalid, d.state[ppn])
+	}
+	d.invalidate(ppn)
+	return nil
+}
+
+// WastePage invalidates a free page without writing it. DLOOP uses it to
+// skip a destination page whose parity does not match the source of a
+// copy-back. It consumes no simulated time (it is pure FTL bookkeeping).
+func (d *Device) WastePage(ppn PPN) error {
+	if !d.geo.ValidPPN(ppn) {
+		return fmt.Errorf("flash: waste %w: ppn %d", ErrOutOfRange, ppn)
+	}
+	if d.state[ppn] != PageFree {
+		return fmt.Errorf("flash: waste ppn %d: %w, page is %v", ppn, ErrWriteNotFree, d.state[ppn])
+	}
+	bi := d.geo.BlockIndex(d.geo.BlockOf(ppn))
+	d.state[ppn] = PageInvalid
+	d.blocks[bi].Invalid++
+	d.blocks[bi].Written++
+	if p := d.geo.PageOf(ppn); p >= d.blocks[bi].NextWrite {
+		d.blocks[bi].NextWrite = p + 1
+	}
+	d.stats.WastedPages++
+	return nil
+}
+
+func (d *Device) program(ppn PPN, lpn int64) {
+	bi := d.geo.BlockIndex(d.geo.BlockOf(ppn))
+	d.state[ppn] = PageValid
+	d.lpns[ppn] = lpn
+	d.blocks[bi].Valid++
+	d.blocks[bi].Written++
+	if p := d.geo.PageOf(ppn); p >= d.blocks[bi].NextWrite {
+		d.blocks[bi].NextWrite = p + 1
+	}
+}
+
+func (d *Device) invalidate(ppn PPN) {
+	bi := d.geo.BlockIndex(d.geo.BlockOf(ppn))
+	d.state[ppn] = PageInvalid
+	d.lpns[ppn] = -1
+	d.blocks[bi].Valid--
+	d.blocks[bi].Invalid++
+}

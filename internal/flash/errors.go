@@ -1,0 +1,24 @@
+package flash
+
+import "errors"
+
+// Sentinel errors returned by Device operations. They are wrapped with
+// addressing context; test with errors.Is.
+var (
+	// ErrOutOfRange marks an address outside the device geometry.
+	ErrOutOfRange = errors.New("address out of range")
+	// ErrReadInvalid marks a read (or copy-back source) of a page that does
+	// not hold valid data.
+	ErrReadInvalid = errors.New("page not valid")
+	// ErrWriteNotFree marks a program of a page that has already been
+	// programmed since the last erase: the erase-before-write limitation.
+	ErrWriteNotFree = errors.New("page not free")
+	// ErrEraseValid marks an erase of a block that still holds live data.
+	ErrEraseValid = errors.New("block still holds valid pages")
+	// ErrCrossPlane marks a copy-back whose source and destination are on
+	// different planes; the internal-data-move command cannot cross planes.
+	ErrCrossPlane = errors.New("copy-back crosses planes")
+	// ErrParity marks a copy-back whose source and destination in-block page
+	// offsets differ in parity, violating the vendor restriction.
+	ErrParity = errors.New("copy-back parity mismatch")
+)

@@ -1,0 +1,104 @@
+package flash
+
+import "dloop/internal/sim"
+
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opCopyBack
+	opErase
+	numOps
+)
+
+// Stats accumulates operation counts and latencies, attributed per cause and
+// per plane. PlaneOps feeds the paper's SDRPP metric (standard deviation of
+// requests per plane); BlockErases feeds wear-leveling analysis.
+type Stats struct {
+	ops     [numOps][numCauses]int64
+	latency [numOps][numCauses]sim.Duration // includes resource queueing
+
+	// PlaneOps[plane][cause] counts operations dispatched to each plane.
+	PlaneOps [][numCauses]int64
+	// BlockErases counts lifetime erases per physical block (dense index).
+	BlockErases []int32
+	// WastedPages counts free pages deliberately invalidated to satisfy the
+	// copy-back same-parity rule (DLOOP's §III.A overhead).
+	WastedPages int64
+}
+
+func (s *Stats) init(geo Geometry) {
+	s.ops = [numOps][numCauses]int64{}
+	s.latency = [numOps][numCauses]sim.Duration{}
+	s.PlaneOps = make([][numCauses]int64, geo.Planes())
+	s.BlockErases = make([]int32, geo.TotalBlocks())
+	s.WastedPages = 0
+}
+
+func (s *Stats) note(op opKind, cause Cause, plane int, lat sim.Duration) {
+	s.ops[op][cause]++
+	s.latency[op][cause] += lat
+	s.PlaneOps[plane][cause]++
+}
+
+func (s *Stats) snapshot() Stats {
+	out := *s
+	out.PlaneOps = append([][numCauses]int64(nil), s.PlaneOps...)
+	out.BlockErases = append([]int32(nil), s.BlockErases...)
+	return out
+}
+
+func (s Stats) sum(op opKind) int64 {
+	var n int64
+	for c := Cause(0); c < numCauses; c++ {
+		n += s.ops[op][c]
+	}
+	return n
+}
+
+// Reads returns the total number of external page reads.
+func (s Stats) Reads() int64 { return s.sum(opRead) }
+
+// Writes returns the total number of external page programs.
+func (s Stats) Writes() int64 { return s.sum(opWrite) }
+
+// CopyBacks returns the total number of intra-plane copy-back operations.
+func (s Stats) CopyBacks() int64 { return s.sum(opCopyBack) }
+
+// Erases returns the total number of block erases.
+func (s Stats) Erases() int64 { return s.sum(opErase) }
+
+// ByCause returns the number of reads, writes, copy-backs, and erases
+// attributed to one cause.
+func (s Stats) ByCause(c Cause) (reads, writes, copyBacks, erases int64) {
+	return s.ops[opRead][c], s.ops[opWrite][c], s.ops[opCopyBack][c], s.ops[opErase][c]
+}
+
+// PlaneTotals returns the total operation count per plane, the series the
+// paper's SDRPP metric is computed over.
+func (s Stats) PlaneTotals() []int64 {
+	out := make([]int64, len(s.PlaneOps))
+	for i, per := range s.PlaneOps {
+		for c := Cause(0); c < numCauses; c++ {
+			out[i] += per[c]
+		}
+	}
+	return out
+}
+
+// PlaneTotalsByCause returns the per-plane operation counts for one cause.
+func (s Stats) PlaneTotalsByCause(cause Cause) []int64 {
+	out := make([]int64, len(s.PlaneOps))
+	for i, per := range s.PlaneOps {
+		out[i] = per[cause]
+	}
+	return out
+}
+
+// GCMoves returns the number of page relocations performed by garbage
+// collection, split into bus-free copy-backs and external (bus-occupying)
+// read+write pairs.
+func (s Stats) GCMoves() (copyBacks, external int64) {
+	return s.ops[opCopyBack][CauseGC], s.ops[opWrite][CauseGC]
+}

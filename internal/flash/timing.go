@@ -1,0 +1,58 @@
+package flash
+
+import "dloop/internal/sim"
+
+// Timing holds the latency parameters of the simulated flash device. The
+// defaults reproduce Table I of the paper (degarbled as documented in
+// DESIGN.md): with 2 KB pages an inter-plane page move costs
+// 25+50+50+200 = 325 µs while an intra-plane copy-back costs 25+200 = 225 µs,
+// the 30.7% saving the paper reports.
+type Timing struct {
+	PageRead    sim.Duration // cell array -> plane data register
+	PageProgram sim.Duration // plane data register -> cell array
+	BlockErase  sim.Duration // whole-block erase
+	BytePeriod  sim.Duration // serial transfer time per byte, register <-> controller
+	CmdAddr     sim.Duration // command + address cycle on the bus
+}
+
+// DefaultTiming returns the paper's Table I latencies.
+func DefaultTiming() Timing {
+	return Timing{
+		PageRead:    sim.Microseconds(25),
+		PageProgram: sim.Microseconds(200),
+		BlockErase:  sim.Microseconds(2000),
+		BytePeriod:  sim.Microseconds(0.025), // 50 µs per 2 KB page
+		CmdAddr:     sim.Microseconds(0.2),
+	}
+}
+
+// Transfer returns the bus time needed to move one page of the given size
+// between a plane data register and the controller, including the command and
+// address cycles.
+func (t Timing) Transfer(pageSize int) sim.Duration {
+	return sim.Duration(int64(t.BytePeriod)*int64(pageSize)) + t.CmdAddr
+}
+
+// ExternalRead returns the service time of an external page read when no
+// resource contention delays it.
+func (t Timing) ExternalRead(pageSize int) sim.Duration {
+	return t.PageRead + t.Transfer(pageSize)
+}
+
+// ExternalWrite returns the service time of an external page program when no
+// resource contention delays it.
+func (t Timing) ExternalWrite(pageSize int) sim.Duration {
+	return t.Transfer(pageSize) + t.PageProgram
+}
+
+// CopyBack returns the service time of an intra-plane copy-back, which never
+// touches the bus.
+func (t Timing) CopyBack() sim.Duration {
+	return t.PageRead + t.PageProgram
+}
+
+// InterPlaneCopy returns the service time of a traditional inter-plane page
+// copy: read, transfer out, transfer in, program (Fig. 2 of the paper).
+func (t Timing) InterPlaneCopy(pageSize int) sim.Duration {
+	return t.PageRead + 2*t.Transfer(pageSize) + t.PageProgram
+}

@@ -1,0 +1,30 @@
+package flash
+
+import "dloop/internal/sim"
+
+// Utilization reports how much simulated time each resource class spent busy.
+type Utilization struct {
+	PlaneBusy   []sim.Duration // indexed by global plane
+	ChipBusBusy []sim.Duration // indexed by global chip
+	ChannelBusy []sim.Duration // indexed by channel
+}
+
+// Utilization returns the accumulated busy time of every plane, chip serial
+// bus, and channel since construction or the last ResetStats.
+func (d *Device) Utilization() Utilization {
+	u := Utilization{
+		PlaneBusy:   make([]sim.Duration, len(d.planes)),
+		ChipBusBusy: make([]sim.Duration, len(d.chipBus)),
+		ChannelBusy: make([]sim.Duration, len(d.channels)),
+	}
+	for i, r := range d.planes {
+		u.PlaneBusy[i] = r.BusyTime()
+	}
+	for i, r := range d.chipBus {
+		u.ChipBusBusy[i] = r.BusyTime()
+	}
+	for i, r := range d.channels {
+		u.ChannelBusy[i] = r.BusyTime()
+	}
+	return u
+}

@@ -1,0 +1,49 @@
+package ftl
+
+import (
+	"testing"
+
+	"dloop/internal/flash"
+)
+
+// BenchmarkCMT measures the cache's hot path: hit, miss+insert, eviction.
+func BenchmarkCMT(b *testing.B) {
+	c, err := NewCMT(4096, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lpn := LPN(i % 8192) // 50% working set over capacity: mixes hits and evictions
+		if _, ok := c.Get(lpn); !ok {
+			c.Insert(lpn, flash.PPN(i), i%2 == 0)
+		}
+	}
+}
+
+// BenchmarkTrackerChurn measures victim-index updates under a GC-like churn.
+func BenchmarkTrackerChurn(b *testing.B) {
+	geo := flash.Geometry{
+		Channels: 8, PackagesPerChannel: 1, ChipsPerPackage: 2,
+		DiesPerChip: 2, PlanesPerDie: 2, BlocksPerPlane: 2048,
+		PagesPerBlock: 64, PageSize: 2048,
+	}
+	tr := NewTracker(geo)
+	for bk := 0; bk < geo.BlocksPerPlane; bk++ {
+		tr.Close(flash.PlaneBlock{Plane: 0, Block: bk})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb := flash.PlaneBlock{Plane: 0, Block: i % geo.BlocksPerPlane}
+		tr.Invalidated(pb)
+		if i%64 == 63 {
+			victim, _, ok := tr.MaxInPlane(0)
+			if !ok {
+				b.Fatal("no victim")
+			}
+			tr.Take(victim)
+			tr.Erased(victim)
+			tr.Close(victim)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package ftl
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+)
+
+// CMT is the Cached Mapping Table: the small SRAM cache of hot
+// logical-to-physical mappings that DFTL introduced and DLOOP reuses
+// (§III.D, algorithm line 6: "select a victim entry for eviction using
+// segmented LRU").
+//
+// The segmented LRU keeps a probationary segment for entries seen once and a
+// protected segment for entries hit again; victims come from the
+// probationary tail, so scan-like bursts cannot flush the hot set.
+//
+// The cache also indexes dirty entries by translation page, supporting
+// DFTL's batch-update optimization: when a dirty victim forces a
+// translation-page write-back, every other dirty mapping belonging to the
+// same translation page is written back (and cleaned) in the same
+// read-modify-write.
+type CMT struct {
+	capacity  int
+	protCap   int // capacity of the protected segment
+	epp       int // mapping entries per translation page
+	entries   map[LPN]*cmtEntry
+	probation cmtList // MRU at head
+	protected cmtList // MRU at head
+	dirtyByTP map[int64]map[LPN]struct{}
+
+	hits, misses int64
+}
+
+// CMTEntry is the externally visible form of a cache entry.
+type CMTEntry struct {
+	LPN   LPN
+	PPN   flash.PPN
+	Dirty bool
+}
+
+type cmtEntry struct {
+	lpn        LPN
+	ppn        flash.PPN
+	dirty      bool
+	protected  bool
+	prev, next *cmtEntry
+}
+
+type cmtList struct {
+	head, tail *cmtEntry
+	n          int
+}
+
+func (l *cmtList) pushFront(e *cmtEntry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.n++
+}
+
+func (l *cmtList) remove(e *cmtEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+// NewCMT returns a cache holding at most capacity entries, with the
+// protected segment getting half. entriesPerPage is the number of mapping
+// entries per translation page, used to group dirty entries for batched
+// write-back. Capacity must be at least 2 and entriesPerPage at least 1.
+func NewCMT(capacity, entriesPerPage int) (*CMT, error) {
+	if capacity < 2 {
+		return nil, fmt.Errorf("ftl: CMT capacity %d too small", capacity)
+	}
+	if entriesPerPage < 1 {
+		return nil, fmt.Errorf("ftl: entries per translation page %d too small", entriesPerPage)
+	}
+	return &CMT{
+		capacity:  capacity,
+		protCap:   capacity / 2,
+		epp:       entriesPerPage,
+		entries:   make(map[LPN]*cmtEntry, capacity),
+		dirtyByTP: make(map[int64]map[LPN]struct{}),
+	}, nil
+}
+
+// Len returns the number of cached entries.
+func (c *CMT) Len() int { return len(c.entries) }
+
+// Capacity returns the maximum number of entries.
+func (c *CMT) Capacity() int { return c.capacity }
+
+// HitRate returns the fraction of Get calls that hit, and the totals.
+func (c *CMT) HitRate() (rate float64, hits, misses int64) {
+	if c.hits+c.misses == 0 {
+		return 0, 0, 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses), c.hits, c.misses
+}
+
+func (c *CMT) tvpn(lpn LPN) int64 { return int64(lpn) / int64(c.epp) }
+
+func (c *CMT) markDirty(lpn LPN) {
+	tp := c.tvpn(lpn)
+	set, ok := c.dirtyByTP[tp]
+	if !ok {
+		set = make(map[LPN]struct{})
+		c.dirtyByTP[tp] = set
+	}
+	set[lpn] = struct{}{}
+}
+
+func (c *CMT) unmarkDirty(lpn LPN) {
+	tp := c.tvpn(lpn)
+	if set, ok := c.dirtyByTP[tp]; ok {
+		delete(set, lpn)
+		if len(set) == 0 {
+			delete(c.dirtyByTP, tp)
+		}
+	}
+}
+
+// Get looks up a mapping, updating recency and segment membership on a hit.
+func (c *CMT) Get(lpn LPN) (flash.PPN, bool) {
+	e, ok := c.entries[lpn]
+	if !ok {
+		c.misses++
+		return flash.InvalidPPN, false
+	}
+	c.hits++
+	c.touch(e)
+	return e.ppn, true
+}
+
+// Contains reports whether a mapping is cached without perturbing recency or
+// hit statistics (used by garbage collection).
+func (c *CMT) Contains(lpn LPN) bool {
+	_, ok := c.entries[lpn]
+	return ok
+}
+
+func (c *CMT) touch(e *cmtEntry) {
+	if e.protected {
+		c.protected.remove(e)
+		c.protected.pushFront(e)
+		return
+	}
+	// Promote probation -> protected; demote protected LRU if over capacity.
+	c.probation.remove(e)
+	e.protected = true
+	c.protected.pushFront(e)
+	for c.protected.n > c.protCap {
+		lru := c.protected.tail
+		c.protected.remove(lru)
+		lru.protected = false
+		c.probation.pushFront(lru)
+	}
+}
+
+// Insert adds a mapping that is not currently cached. If the cache is full it
+// evicts the segmented-LRU victim and returns it with evicted=true; the
+// caller must write the victim back to its translation page if it is dirty.
+func (c *CMT) Insert(lpn LPN, ppn flash.PPN, dirty bool) (victim CMTEntry, evicted bool) {
+	if _, ok := c.entries[lpn]; ok {
+		panic(fmt.Sprintf("ftl: CMT.Insert of cached lpn %d", lpn))
+	}
+	if len(c.entries) >= c.capacity {
+		victim, evicted = c.evict()
+	}
+	e := &cmtEntry{lpn: lpn, ppn: ppn, dirty: dirty}
+	c.entries[lpn] = e
+	c.probation.pushFront(e)
+	if dirty {
+		c.markDirty(lpn)
+	}
+	return victim, evicted
+}
+
+func (c *CMT) evict() (CMTEntry, bool) {
+	var e *cmtEntry
+	if c.probation.tail != nil {
+		e = c.probation.tail
+		c.probation.remove(e)
+	} else if c.protected.tail != nil {
+		e = c.protected.tail
+		c.protected.remove(e)
+	} else {
+		return CMTEntry{}, false
+	}
+	delete(c.entries, e.lpn)
+	if e.dirty {
+		c.unmarkDirty(e.lpn)
+	}
+	return CMTEntry{LPN: e.lpn, PPN: e.ppn, Dirty: e.dirty}, true
+}
+
+// Update rewrites the PPN of a cached mapping and ORs in dirty. It reports
+// whether the entry was present.
+func (c *CMT) Update(lpn LPN, ppn flash.PPN, dirty bool) bool {
+	e, ok := c.entries[lpn]
+	if !ok {
+		return false
+	}
+	e.ppn = ppn
+	if dirty && !e.dirty {
+		e.dirty = true
+		c.markDirty(lpn)
+	}
+	return true
+}
+
+// DirtyInPage returns how many cached dirty mappings belong to the
+// translation page tvpn.
+func (c *CMT) DirtyInPage(tvpn int64) int { return len(c.dirtyByTP[tvpn]) }
+
+// CleanPage marks every cached dirty mapping of translation page tvpn clean
+// and returns how many there were. Mapper.writeBack calls it after the
+// read-modify-write that persisted them all at once (DFTL's batch update).
+func (c *CMT) CleanPage(tvpn int64) int {
+	set := c.dirtyByTP[tvpn]
+	n := len(set)
+	for lpn := range set {
+		c.entries[lpn].dirty = false
+	}
+	delete(c.dirtyByTP, tvpn)
+	return n
+}

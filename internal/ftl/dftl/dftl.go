@@ -1,0 +1,310 @@
+// Package dftl implements the DFTL baseline (Gupta et al., ASPLOS'09) at the
+// fidelity the DLOOP paper compares against: a demand-paged page-mapping FTL
+// whose hot mappings live in an SRAM CMT and whose full table lives in
+// translation pages on flash, located through the GTD.
+//
+// DFTL is plane-oblivious. Data pages append to a single global current
+// block and translation pages to another, both drawn from the free pool in
+// plane-major order — so consecutive writes land on one plane and queue
+// behind each other, and the translation pages start out concentrated in the
+// first blocks of plane 0 (§V.B/§V.D of the DLOOP paper explains how both
+// hurt it). Garbage collection picks the block with the most invalid pages
+// device-wide and relocates valid pages with external reads and writes
+// through the serial bus and channel — the 325 µs inter-plane copy of
+// Fig. 2 — because plain DFTL does not use the copy-back command.
+package dftl
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/sim"
+)
+
+// Config parameterizes DFTL.
+type Config struct {
+	// CMTEntries is the SRAM mapping-cache capacity (default 4096).
+	CMTEntries int
+	// GCThreshold triggers garbage collection when the device-wide free pool
+	// drops below it (kept at the paper's 3, scaled by nothing: DFTL pools
+	// globally).
+	GCThreshold int
+	// ExtraPerPlane matches the over-provisioning given to the other FTLs so
+	// every scheme exports the same capacity.
+	ExtraPerPlane int
+}
+
+func (c *Config) setDefaults() {
+	if c.CMTEntries == 0 {
+		c.CMTEntries = 4096
+	}
+	if c.GCThreshold == 0 {
+		c.GCThreshold = 3
+	}
+}
+
+// Stats exposes DFTL-specific counters.
+type Stats struct {
+	GCRuns      int64
+	GCMoves     int64 // valid pages relocated by GC (all through the bus)
+	MapperStats ftl.MapperStats
+}
+
+type writePoint struct {
+	pb     flash.PlaneBlock
+	next   int
+	active bool
+}
+
+// DFTL is the baseline FTL. Not safe for concurrent use.
+type DFTL struct {
+	dev      *flash.Device
+	geo      flash.Geometry
+	cfg      Config
+	capacity ftl.LPN
+
+	mapper  *ftl.Mapper
+	pool    *ftl.FreeBlocks
+	tracker *ftl.Tracker
+	data    writePoint // global current data block
+	trans   writePoint // global current translation block
+	gcDepth int        // nesting level of active collections
+
+	stats Stats
+}
+
+// New builds a DFTL baseline over dev.
+func New(dev *flash.Device, cfg Config) (*DFTL, error) {
+	cfg.setDefaults()
+	geo := dev.Geometry()
+	if cfg.ExtraPerPlane < 1 || cfg.ExtraPerPlane >= geo.BlocksPerPlane {
+		return nil, fmt.Errorf("dftl: bad ExtraPerPlane %d", cfg.ExtraPerPlane)
+	}
+	f := &DFTL{
+		dev:      dev,
+		geo:      geo,
+		cfg:      cfg,
+		capacity: ftl.ExportedPages(geo, cfg.ExtraPerPlane),
+		pool:     ftl.NewFreeBlocks(geo),
+		tracker:  ftl.NewTracker(geo),
+	}
+	var err error
+	f.mapper, err = ftl.NewMapper(dev, f, f.tracker, f.capacity, cfg.CMTEntries)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Name implements ftl.FTL.
+func (f *DFTL) Name() string { return "DFTL" }
+
+// Capacity implements ftl.FTL.
+func (f *DFTL) Capacity() ftl.LPN { return f.capacity }
+
+// Stats returns DFTL's internal counters.
+func (f *DFTL) Stats() Stats {
+	s := f.stats
+	s.MapperStats = f.mapper.Stats()
+	return s
+}
+
+// CMTHitRate reports the mapping-cache hit rate.
+func (f *DFTL) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRate() }
+
+// ReadPage implements ftl.FTL.
+func (f *DFTL) ReadPage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	if err := ftl.CheckLPN(lpn, f.capacity); err != nil {
+		return 0, err
+	}
+	t, err := f.mapper.Resolve(lpn, ready)
+	if err != nil {
+		return 0, err
+	}
+	ppn := f.mapper.Table[lpn]
+	if ppn == flash.InvalidPPN {
+		return t, nil
+	}
+	return f.dev.ReadPage(ppn, t, flash.CauseHost)
+}
+
+// WritePage implements ftl.FTL.
+func (f *DFTL) WritePage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	if err := ftl.CheckLPN(lpn, f.capacity); err != nil {
+		return 0, err
+	}
+	t, err := f.mapper.Resolve(lpn, ready)
+	if err != nil {
+		return 0, err
+	}
+	ppn, t, err := f.PlacePage(int64(lpn), t)
+	if err != nil {
+		return 0, err
+	}
+	end, err := f.dev.WritePage(ppn, int64(lpn), t, flash.CauseHost)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.mapper.RecordWrite(lpn, ppn); err != nil {
+		return 0, err
+	}
+	return end, nil
+}
+
+// PlacePage implements ftl.Placer: appends to the global data or translation
+// write point, collecting garbage first if the device-wide pool is low.
+func (f *DFTL) PlacePage(stored int64, ready sim.Time) (flash.PPN, sim.Time, error) {
+	t := ready
+	// Collections never place through this path (GC mapping redirects are
+	// lazy), so the depth guard is pure defense against reentry.
+	if f.gcDepth == 0 {
+		var err error
+		t, err = f.maybeCollect(t)
+		if err != nil {
+			return flash.InvalidPPN, 0, err
+		}
+	}
+	wp := &f.data
+	if ftl.IsTrans(stored) {
+		wp = &f.trans
+	}
+	ppn, err := f.nextFreePage(wp)
+	if err != nil {
+		return flash.InvalidPPN, 0, err
+	}
+	return ppn, t, nil
+}
+
+func (f *DFTL) nextFreePage(wp *writePoint) (flash.PPN, error) {
+	if wp.active && wp.next >= f.geo.PagesPerBlock {
+		f.tracker.Close(wp.pb)
+		wp.active = false
+	}
+	if !wp.active {
+		pb, ok := f.pool.TakeAny() // plane-major: DFTL's plane-oblivious allocation
+		if !ok {
+			return flash.InvalidPPN, fmt.Errorf("dftl: device exhausted (capacity overcommitted)")
+		}
+		wp.pb, wp.next, wp.active = pb, 0, true
+	}
+	ppn := f.geo.PPNOf(wp.pb.Plane, wp.pb.Block, wp.next)
+	wp.next++
+	return ppn, nil
+}
+
+func (f *DFTL) maybeCollect(ready sim.Time) (sim.Time, error) {
+	t := ready
+	for f.pool.Total() < f.cfg.GCThreshold {
+		end, reclaimed, err := f.collect(t)
+		if err != nil {
+			return 0, err
+		}
+		if !reclaimed {
+			break
+		}
+		t = end
+	}
+	return t, nil
+}
+
+// collect performs one device-wide garbage collection: the block with the
+// most invalid pages is the victim; every valid page is relocated with an
+// external read + write pair (data pages to the current data block,
+// translation pages to the current translation block), mappings are
+// redirected, and the victim is erased.
+func (f *DFTL) collect(ready sim.Time) (end sim.Time, reclaimed bool, err error) {
+	victim, _, ok := f.tracker.MaxGlobal()
+	if !ok {
+		return ready, false, nil
+	}
+	f.tracker.Take(victim)
+	f.gcDepth++
+	defer func() { f.gcDepth-- }()
+
+	t := ready
+	var moved []ftl.Moved
+	first := f.geo.FirstPPN(victim)
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		src := first + flash.PPN(p)
+		if f.dev.PageState(src) != flash.PageValid {
+			continue
+		}
+		stored := f.dev.PageLPN(src)
+		wp := &f.data
+		if ftl.IsTrans(stored) {
+			wp = &f.trans
+		}
+		var dst flash.PPN
+		dst, err = f.nextFreePage(wp)
+		if err != nil {
+			return 0, false, err
+		}
+		t, err = f.dev.ReadPage(src, t, flash.CauseGC)
+		if err != nil {
+			return 0, false, err
+		}
+		t, err = f.dev.WritePage(dst, stored, t, flash.CauseGC)
+		if err != nil {
+			return 0, false, err
+		}
+		if err = f.dev.Invalidate(src); err != nil {
+			return 0, false, err
+		}
+		moved = append(moved, ftl.Moved{Stored: stored, New: dst})
+		f.stats.GCMoves++
+	}
+	t, err = f.mapper.RedirectMoved(moved, t)
+	if err != nil {
+		return 0, false, err
+	}
+	t, err = f.dev.Erase(victim, t, flash.CauseGC)
+	if err != nil {
+		return 0, false, err
+	}
+	f.tracker.Erased(victim)
+	f.pool.Put(victim)
+	f.stats.GCRuns++
+	return t, true, nil
+}
+
+// Lookup returns the current physical page of lpn without charging simulated
+// time or perturbing the CMT; tests and consistency checks use it.
+func (f *DFTL) Lookup(lpn ftl.LPN) flash.PPN {
+	if err := ftl.CheckLPN(lpn, f.capacity); err != nil {
+		return flash.InvalidPPN
+	}
+	return f.mapper.Table[lpn]
+}
+
+// NewRecovered builds a DFTL baseline from an existing device's state by
+// scanning the out-of-band page tags after a simulated power loss. The CMT
+// starts cold. DFTL keeps two write points (data and translation); recovery
+// cannot tell from page state alone which partial block served which role,
+// so it resumes the first partial block as the data point and the second as
+// the translation point — both roles only append, so the assignment does
+// not affect correctness.
+func NewRecovered(dev *flash.Device, cfg Config) (*DFTL, error) {
+	f, err := New(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := ftl.ScanOOB(dev, f.capacity, f.mapper.TranslationPages())
+	if err != nil {
+		return nil, err
+	}
+	if err := f.mapper.AdoptState(st.Table, st.GTD); err != nil {
+		return nil, err
+	}
+	f.pool = st.Pool
+	f.tracker = st.Tracker
+	f.mapper.Retarget(f, st.Tracker)
+	wps := []*writePoint{&f.data, &f.trans}
+	if len(st.Partial) > len(wps) {
+		return nil, fmt.Errorf("dftl: recovery found %d partial blocks, want at most %d", len(st.Partial), len(wps))
+	}
+	for i, p := range st.Partial {
+		wps[i].pb, wps[i].next, wps[i].active = p.PB, p.NextWrite, true
+	}
+	return f, nil
+}

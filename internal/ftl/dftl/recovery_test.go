@@ -1,0 +1,58 @@
+package dftl
+
+import (
+	"testing"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/sim"
+)
+
+// TestRecoveryRebuildsMapping crashes a DFTL instance mid-workload and
+// checks the OOB-rebuilt instance exposes the identical mapping and keeps
+// serving.
+func TestRecoveryRebuildsMapping(t *testing.T) {
+	f, dev := newTestFTL(t, Config{})
+	var at sim.Time
+	for i := 0; i < 20000; i++ {
+		lpn := ftl.LPN(i % 96)
+		if i%8 == 0 {
+			lpn = ftl.LPN(96 + i/8%600)
+		}
+		end, err := f.WritePage(lpn, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = end
+	}
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("workload never collected; crash state too simple")
+	}
+
+	r, err := NewRecovered(dev, Config{ExtraPerPlane: 4, CMTEntries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpn := ftl.LPN(0); lpn < f.Capacity(); lpn++ {
+		if got, want := r.Lookup(lpn), f.Lookup(lpn); got != want {
+			t.Fatalf("lpn %d: recovered %d, want %d", lpn, got, want)
+		}
+	}
+	at2 := at
+	for i := 0; i < 3000; i++ {
+		end, err := r.WritePage(ftl.LPN(i%600), at2)
+		if err != nil {
+			t.Fatalf("post-recovery write %d: %v", i, err)
+		}
+		at2 = end
+	}
+	for lpn := ftl.LPN(0); lpn < r.Capacity(); lpn++ {
+		ppn := r.Lookup(lpn)
+		if ppn == flash.InvalidPPN {
+			continue
+		}
+		if dev.PageState(ppn) != flash.PageValid || dev.PageLPN(ppn) != int64(lpn) {
+			t.Fatalf("post-recovery lpn %d inconsistent", lpn)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+// Package fast implements the FAST baseline (Lee et al., TECS'07): a hybrid
+// FTL with block-mapped data blocks and a small page-mapped log buffer split
+// into one sequential-write (SW) log block and a set of fully-associative
+// random-write (RW) log blocks.
+//
+// The whole block map and log page map fit in SRAM (that is the point of
+// hybrid FTLs), so FAST pays no translation-page traffic — its cost is merge
+// operations: switch merges (free), partial merges (copy the data block's
+// tail into the SW log), and the notoriously expensive full merges that
+// consolidate every logical block touched by a victim RW log block. All
+// merge copies are external read + write pairs through the serial bus and
+// channel; FAST is plane-oblivious and allocates in plane-major order.
+package fast
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/sim"
+)
+
+// Config parameterizes FAST.
+type Config struct {
+	// ExtraPerPlane is the over-provisioning per plane, matching the other
+	// FTLs so every scheme exports the same capacity.
+	ExtraPerPlane int
+	// LogBlocks is the size of the log buffer (1 SW + the rest RW). Default:
+	// half the device's extra blocks, minimum 4. More over-provisioning
+	// means a larger log and later, cheaper merges — the Fig. 10 trend.
+	LogBlocks int
+}
+
+// Stats exposes FAST-specific counters.
+type Stats struct {
+	SwitchMerges  int64
+	PartialMerges int64
+	FullMerges    int64 // one per logical block consolidated
+	MergeCopies   int64 // pages copied by merges (all through the bus)
+}
+
+// FAST is the baseline FTL. Not safe for concurrent use.
+type FAST struct {
+	dev      *flash.Device
+	geo      flash.Geometry
+	cfg      Config
+	capacity ftl.LPN
+	lbns     int64 // logical blocks exported
+
+	pool      *ftl.FreeBlocks
+	dataBlock []int64               // lbn -> dense physical block index, -1 if none
+	logMap    map[ftl.LPN]flash.PPN // current location of log-resident pages
+
+	swLBN   int64 // logical block owning the SW log, -1 if inactive
+	swBlock flash.PlaneBlock
+	swNext  int
+
+	rwActive bool
+	rwBlock  flash.PlaneBlock
+	rwNext   int
+	rwFull   []flash.PlaneBlock // filled RW log blocks, oldest first
+
+	stats Stats
+}
+
+// New builds a FAST baseline over dev.
+func New(dev *flash.Device, cfg Config) (*FAST, error) {
+	geo := dev.Geometry()
+	if cfg.ExtraPerPlane < 1 || cfg.ExtraPerPlane >= geo.BlocksPerPlane {
+		return nil, fmt.Errorf("fast: bad ExtraPerPlane %d", cfg.ExtraPerPlane)
+	}
+	totalExtra := cfg.ExtraPerPlane * geo.Planes()
+	if cfg.LogBlocks == 0 {
+		cfg.LogBlocks = totalExtra / 2
+	}
+	if cfg.LogBlocks < 4 {
+		cfg.LogBlocks = 4
+	}
+	if cfg.LogBlocks > totalExtra-2 {
+		return nil, fmt.Errorf("fast: LogBlocks %d leaves no merge slack in %d extra blocks",
+			cfg.LogBlocks, totalExtra)
+	}
+	capacity := ftl.ExportedPages(geo, cfg.ExtraPerPlane)
+	f := &FAST{
+		dev:       dev,
+		geo:       geo,
+		cfg:       cfg,
+		capacity:  capacity,
+		lbns:      int64(capacity) / int64(geo.PagesPerBlock),
+		pool:      ftl.NewFreeBlocks(geo),
+		dataBlock: make([]int64, int64(capacity)/int64(geo.PagesPerBlock)),
+		logMap:    make(map[ftl.LPN]flash.PPN),
+		swLBN:     -1,
+	}
+	for i := range f.dataBlock {
+		f.dataBlock[i] = -1
+	}
+	return f, nil
+}
+
+// Name implements ftl.FTL.
+func (f *FAST) Name() string { return "FAST" }
+
+// Capacity implements ftl.FTL.
+func (f *FAST) Capacity() ftl.LPN { return f.capacity }
+
+// Stats returns FAST's merge counters.
+func (f *FAST) Stats() Stats { return f.stats }
+
+// LogBlocksInUse returns how many log blocks currently hold data.
+func (f *FAST) LogBlocksInUse() int {
+	n := len(f.rwFull)
+	if f.rwActive {
+		n++
+	}
+	if f.swLBN >= 0 {
+		n++
+	}
+	return n
+}
+
+func (f *FAST) split(lpn ftl.LPN) (lbn int64, off int) {
+	return int64(lpn) / int64(f.geo.PagesPerBlock), int(int64(lpn) % int64(f.geo.PagesPerBlock))
+}
+
+func (f *FAST) dataPPN(lbn int64, off int) flash.PPN {
+	return flash.PPN(f.dataBlock[lbn]*int64(f.geo.PagesPerBlock) + int64(off))
+}
+
+// lookup returns the physical page currently holding lpn, or InvalidPPN.
+// Log-resident versions shadow the data block.
+func (f *FAST) lookup(lpn ftl.LPN) flash.PPN {
+	if ppn, ok := f.logMap[lpn]; ok {
+		return ppn
+	}
+	lbn, off := f.split(lpn)
+	if f.dataBlock[lbn] < 0 {
+		return flash.InvalidPPN
+	}
+	if ppn := f.dataPPN(lbn, off); f.dev.PageState(ppn) == flash.PageValid {
+		return ppn
+	}
+	return flash.InvalidPPN
+}
+
+// ReadPage implements ftl.FTL. The block map and log map live in SRAM, so
+// translation is free; only the flash read is charged.
+func (f *FAST) ReadPage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	if err := ftl.CheckLPN(lpn, f.capacity); err != nil {
+		return 0, err
+	}
+	ppn := f.lookup(lpn)
+	if ppn == flash.InvalidPPN {
+		return ready, nil // never written
+	}
+	return f.dev.ReadPage(ppn, ready, flash.CauseHost)
+}
+
+// WritePage implements ftl.FTL.
+func (f *FAST) WritePage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	if err := ftl.CheckLPN(lpn, f.capacity); err != nil {
+		return 0, err
+	}
+	lbn, off := f.split(lpn)
+
+	// First write of this logical block: map a data block.
+	if f.dataBlock[lbn] < 0 {
+		pb, err := f.alloc()
+		if err != nil {
+			return 0, err
+		}
+		f.dataBlock[lbn] = f.geo.BlockIndex(pb)
+	}
+	// In-place program if the data block's slot is still erased.
+	if ppn := f.dataPPN(lbn, off); f.dev.PageState(ppn) == flash.PageFree {
+		return f.dev.WritePage(ppn, int64(lpn), ready, flash.CauseHost)
+	}
+	return f.logWrite(lpn, lbn, off, ready)
+}
+
+func (f *FAST) logWrite(lpn ftl.LPN, lbn int64, off int, ready sim.Time) (sim.Time, error) {
+	t := ready
+
+	switch {
+	case f.swLBN == lbn && f.swNext == off:
+		// Continue the sequential stream in the SW log.
+		old := f.lookup(lpn)
+		ppn := f.geo.PPNOf(f.swBlock.Plane, f.swBlock.Block, f.swNext)
+		end, err := f.dev.WritePage(ppn, int64(lpn), t, flash.CauseHost)
+		if err != nil {
+			return 0, err
+		}
+		f.swNext++
+		f.logMap[lpn] = ppn
+		if err := f.invalidateOld(old); err != nil {
+			return 0, err
+		}
+		if f.swNext == f.geo.PagesPerBlock {
+			return f.mergeSW(end) // complete: switch merge
+		}
+		return end, nil
+
+	case off == 0:
+		// A new sequential stream claims the SW log (FAST's heuristic).
+		if f.swLBN >= 0 {
+			var err error
+			t, err = f.mergeSW(t)
+			if err != nil {
+				return 0, err
+			}
+		}
+		pb, err := f.alloc()
+		if err != nil {
+			return 0, err
+		}
+		f.swBlock, f.swLBN, f.swNext = pb, lbn, 0
+		// Look up the superseded version only now: the merge above may have
+		// relocated it.
+		old := f.lookup(lpn)
+		ppn := f.geo.PPNOf(pb.Plane, pb.Block, 0)
+		end, err := f.dev.WritePage(ppn, int64(lpn), t, flash.CauseHost)
+		if err != nil {
+			return 0, err
+		}
+		f.swNext = 1
+		f.logMap[lpn] = ppn
+		return end, f.invalidateOld(old)
+
+	default:
+		return f.rwWrite(lpn, t)
+	}
+}
+
+// rwWrite appends to the fully-associative RW log, running a full merge of
+// the oldest RW log block when the log buffer is exhausted.
+func (f *FAST) rwWrite(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	t := ready
+	if f.rwActive && f.rwNext >= f.geo.PagesPerBlock {
+		f.rwFull = append(f.rwFull, f.rwBlock)
+		f.rwActive = false
+	}
+	if !f.rwActive {
+		// Respect the log-buffer budget (1 SW + RW blocks).
+		for f.LogBlocksInUse() >= f.cfg.LogBlocks {
+			var err error
+			t, err = f.fullMerge(t)
+			if err != nil {
+				return 0, err
+			}
+		}
+		pb, err := f.alloc()
+		if err != nil {
+			return 0, err
+		}
+		f.rwBlock, f.rwNext, f.rwActive = pb, 0, true
+	}
+	// Look up the superseded version only after any merge above, which may
+	// have relocated it.
+	old := f.lookup(lpn)
+	ppn := f.geo.PPNOf(f.rwBlock.Plane, f.rwBlock.Block, f.rwNext)
+	end, err := f.dev.WritePage(ppn, int64(lpn), t, flash.CauseHost)
+	if err != nil {
+		return 0, err
+	}
+	f.rwNext++
+	f.logMap[lpn] = ppn
+	return end, f.invalidateOld(old)
+}
+
+func (f *FAST) invalidateOld(old flash.PPN) error {
+	if old == flash.InvalidPPN {
+		return nil
+	}
+	return f.dev.Invalidate(old)
+}
+
+func (f *FAST) alloc() (flash.PlaneBlock, error) {
+	pb, ok := f.pool.TakeAny()
+	if !ok {
+		return flash.PlaneBlock{}, fmt.Errorf("fast: device exhausted (capacity overcommitted)")
+	}
+	return pb, nil
+}
+
+// mergeSW retires the SW log block: a switch merge if it is complete and
+// fully valid, a partial merge if it is a clean prefix, otherwise a full
+// consolidation of its logical block.
+func (f *FAST) mergeSW(ready sim.Time) (sim.Time, error) {
+	if f.swLBN < 0 {
+		return ready, nil
+	}
+	lbn := f.swLBN
+	b := f.swBlock
+	info := f.dev.Block(b)
+	t := ready
+	var err error
+
+	switch {
+	case info.Valid == 0:
+		// Every SW page was superseded (e.g. its logical block was already
+		// consolidated by a full merge); just reclaim the block. Drop only
+		// log entries that still point into it — others are live elsewhere.
+		for off := 0; off < f.swNext; off++ {
+			lpn := ftl.LPN(lbn*int64(f.geo.PagesPerBlock) + int64(off))
+			if ppn, ok := f.logMap[lpn]; ok && f.geo.BlockOf(ppn) == b {
+				delete(f.logMap, lpn)
+			}
+		}
+		t, err = f.eraseToPool(b, t)
+		if err != nil {
+			return 0, err
+		}
+
+	case f.swNext == f.geo.PagesPerBlock && info.Invalid == 0:
+		// Switch merge: the log block becomes the data block.
+		t, err = f.retireDataBlock(lbn, t)
+		if err != nil {
+			return 0, err
+		}
+		f.adoptAsData(lbn, b)
+		f.stats.SwitchMerges++
+
+	case info.Invalid == 0:
+		// Partial merge: copy the tail of the logical block into the SW log,
+		// then adopt it as the data block.
+		for off := f.swNext; off < f.geo.PagesPerBlock; off++ {
+			lpn := ftl.LPN(lbn*int64(f.geo.PagesPerBlock) + int64(off))
+			src := f.lookup(lpn)
+			if src == flash.InvalidPPN {
+				continue
+			}
+			dst := f.geo.PPNOf(b.Plane, b.Block, off)
+			t, err = f.copyPage(src, dst, int64(lpn), t)
+			if err != nil {
+				return 0, err
+			}
+			delete(f.logMap, lpn)
+		}
+		t, err = f.retireDataBlock(lbn, t)
+		if err != nil {
+			return 0, err
+		}
+		f.adoptAsData(lbn, b)
+		f.stats.PartialMerges++
+
+	default:
+		// The stream was disturbed by random updates: consolidate into a
+		// fresh block like a full merge of a single logical block.
+		t, err = f.consolidate(lbn, t)
+		if err != nil {
+			return 0, err
+		}
+		// The SW block now holds only invalid pages; reclaim it.
+		t, err = f.eraseToPool(b, t)
+		if err != nil {
+			return 0, err
+		}
+	}
+	f.swLBN = -1
+	return t, nil
+}
+
+// adoptAsData makes the (former SW log) block the data block of lbn and
+// drops its pages from the log map.
+func (f *FAST) adoptAsData(lbn int64, b flash.PlaneBlock) {
+	for off := 0; off < f.geo.PagesPerBlock; off++ {
+		delete(f.logMap, ftl.LPN(lbn*int64(f.geo.PagesPerBlock)+int64(off)))
+	}
+	f.dataBlock[lbn] = f.geo.BlockIndex(b)
+}
+
+// retireDataBlock erases lbn's old data block if it no longer holds valid
+// pages worth keeping (its live pages were superseded or copied out).
+func (f *FAST) retireDataBlock(lbn int64, ready sim.Time) (sim.Time, error) {
+	if f.dataBlock[lbn] < 0 {
+		return ready, nil
+	}
+	pb := flash.PlaneBlock{
+		Plane: int(f.dataBlock[lbn] / int64(f.geo.BlocksPerPlane)),
+		Block: int(f.dataBlock[lbn] % int64(f.geo.BlocksPerPlane)),
+	}
+	f.dataBlock[lbn] = -1
+	return f.eraseToPool(pb, ready)
+}
+
+func (f *FAST) eraseToPool(pb flash.PlaneBlock, ready sim.Time) (sim.Time, error) {
+	// Any straggler valid pages must be gone by construction; Erase checks.
+	end, err := f.dev.Erase(pb, ready, flash.CauseGC)
+	if err != nil {
+		return 0, err
+	}
+	f.pool.Put(pb)
+	return end, nil
+}
+
+// copyPage is FAST's merge move: an external read + write pair through the
+// bus (FAST does not use copy-back), invalidating the source.
+func (f *FAST) copyPage(src, dst flash.PPN, stored int64, ready sim.Time) (sim.Time, error) {
+	t, err := f.dev.ReadPage(src, ready, flash.CauseGC)
+	if err != nil {
+		return 0, err
+	}
+	t, err = f.dev.WritePage(dst, stored, t, flash.CauseGC)
+	if err != nil {
+		return 0, err
+	}
+	if err := f.dev.Invalidate(src); err != nil {
+		return 0, err
+	}
+	f.stats.MergeCopies++
+	return t, nil
+}
+
+// consolidate gathers every valid page of lbn (from its data block, the SW
+// log, and any RW log block) into a freshly allocated block, which becomes
+// the new data block. The old data block is erased.
+func (f *FAST) consolidate(lbn int64, ready sim.Time) (sim.Time, error) {
+	c, err := f.alloc()
+	if err != nil {
+		return 0, err
+	}
+	t := ready
+	for off := 0; off < f.geo.PagesPerBlock; off++ {
+		lpn := ftl.LPN(lbn*int64(f.geo.PagesPerBlock) + int64(off))
+		src := f.lookup(lpn)
+		if src == flash.InvalidPPN {
+			continue
+		}
+		dst := f.geo.PPNOf(c.Plane, c.Block, off)
+		t, err = f.copyPage(src, dst, int64(lpn), t)
+		if err != nil {
+			return 0, err
+		}
+		delete(f.logMap, lpn)
+	}
+	t, err = f.retireDataBlock(lbn, t)
+	if err != nil {
+		return 0, err
+	}
+	f.dataBlock[lbn] = f.geo.BlockIndex(c)
+	f.stats.FullMerges++
+	return t, nil
+}
+
+// fullMerge evicts the oldest filled RW log block: every logical block with
+// a valid page in it is consolidated, after which the victim is erased.
+func (f *FAST) fullMerge(ready sim.Time) (sim.Time, error) {
+	if len(f.rwFull) == 0 {
+		// The budget is consumed by the SW log and the active RW block;
+		// retire the SW log to make room.
+		return f.mergeSW(ready)
+	}
+	victim := f.rwFull[0]
+	f.rwFull = f.rwFull[1:]
+
+	t := ready
+	first := f.geo.FirstPPN(victim)
+	seen := make(map[int64]bool)
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		src := first + flash.PPN(p)
+		if f.dev.PageState(src) != flash.PageValid {
+			continue
+		}
+		lbn := f.dev.PageLPN(src) / int64(f.geo.PagesPerBlock)
+		if seen[lbn] {
+			continue
+		}
+		seen[lbn] = true
+		var err error
+		t, err = f.consolidate(lbn, t)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return f.eraseToPool(victim, t)
+}
+
+// Lookup returns the current physical page of lpn without charging simulated
+// time; tests and consistency checks use it.
+func (f *FAST) Lookup(lpn ftl.LPN) flash.PPN {
+	if err := ftl.CheckLPN(lpn, f.capacity); err != nil {
+		return flash.InvalidPPN
+	}
+	return f.lookup(lpn)
+}

@@ -1,0 +1,228 @@
+package ftl
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/sim"
+)
+
+// Placer is the placement policy a page-mapping FTL plugs into the Mapper:
+// it picks (and, if needed, garbage-collects to obtain) a destination page
+// for the encoded logical page. DLOOP stripes by plane; DFTL appends to a
+// global write point.
+type Placer interface {
+	// PlacePage returns a free physical page for the stored tag (an LPN or
+	// an encoded translation-page number) and the earliest time the page can
+	// accept the program, after any garbage collection the placement incurs.
+	PlacePage(stored int64, ready sim.Time) (flash.PPN, sim.Time, error)
+}
+
+// Moved records one garbage-collection relocation for mapping redirection.
+type Moved struct {
+	Stored int64 // tag of the page content (LPN or encoded tvpn)
+	New    flash.PPN
+}
+
+// MapperStats counts the address-translation overhead of a demand-paged
+// mapping table.
+type MapperStats struct {
+	Evictions      int64 // CMT evictions
+	DirtyEvictions int64 // evictions that forced a translation-page write-back
+	TransReads     int64 // translation-page reads (fetch + read-modify-write)
+	TransWrites    int64 // translation-page programs
+	BatchCleaned   int64 // dirty mappings persisted by batched write-backs
+	LazyRedirects  int64 // GC redirects of uncached mappings absorbed lazily (OOB-backed)
+}
+
+// Mapper implements the demand-paged page-level mapping shared by DLOOP and
+// DFTL (§II.A, §III.D): the full table lives in flash as translation pages,
+// located through the in-SRAM GTD; hot entries are cached in the CMT.
+//
+// Table is authoritative for simulation correctness; the CMT/GTD machinery
+// exists to charge the flash traffic that a real controller's SRAM miss
+// would cost.
+type Mapper struct {
+	dev    *flash.Device
+	placer Placer
+
+	Table []flash.PPN // lpn -> current ppn, InvalidPPN if never written
+	CMT   *CMT
+	GTD   []flash.PPN // tvpn -> ppn of its translation page, InvalidPPN if never persisted
+
+	entriesPerTP int
+	tracker      *Tracker // invalidation bookkeeping for superseded translation pages
+
+	stats MapperStats
+}
+
+// NewMapper builds a Mapper exporting capacity logical pages, caching
+// cmtEntries mappings in SRAM. Translation pages pack PageSize/8 entries
+// (8 bytes per mapping entry, the figure DFTL uses).
+func NewMapper(dev *flash.Device, placer Placer, tracker *Tracker, capacity LPN, cmtEntries int) (*Mapper, error) {
+	per := dev.Geometry().PageSize / 8
+	if per < 1 {
+		return nil, fmt.Errorf("ftl: page size %d too small for translation entries", dev.Geometry().PageSize)
+	}
+	cmt, err := NewCMT(cmtEntries, per)
+	if err != nil {
+		return nil, err
+	}
+	nTP := (int64(capacity) + int64(per) - 1) / int64(per)
+	m := &Mapper{
+		dev:          dev,
+		placer:       placer,
+		Table:        make([]flash.PPN, capacity),
+		CMT:          cmt,
+		GTD:          make([]flash.PPN, nTP),
+		entriesPerTP: per,
+		tracker:      tracker,
+	}
+	for i := range m.Table {
+		m.Table[i] = flash.InvalidPPN
+	}
+	for i := range m.GTD {
+		m.GTD[i] = flash.InvalidPPN
+	}
+	return m, nil
+}
+
+// Stats returns the accumulated translation overhead counters.
+func (m *Mapper) Stats() MapperStats { return m.stats }
+
+// EntriesPerTP returns how many mapping entries one translation page holds.
+func (m *Mapper) EntriesPerTP() int { return m.entriesPerTP }
+
+// TVPN returns the translation-page number covering lpn.
+func (m *Mapper) TVPN(lpn LPN) int64 { return int64(lpn) / int64(m.entriesPerTP) }
+
+// TranslationPages returns the number of translation pages in the GTD.
+func (m *Mapper) TranslationPages() int { return len(m.GTD) }
+
+// Resolve ensures lpn's mapping is present in the CMT, charging any
+// translation-page traffic a miss incurs (dirty-victim write-back, then
+// fetch). It returns the time address translation completes.
+func (m *Mapper) Resolve(lpn LPN, ready sim.Time) (sim.Time, error) {
+	if _, ok := m.CMT.Get(lpn); ok {
+		return ready, nil
+	}
+	t := ready
+	victim, evicted := m.CMT.Insert(lpn, m.Table[lpn], false)
+	if evicted {
+		m.stats.Evictions++
+		if victim.Dirty {
+			m.stats.DirtyEvictions++
+			var err error
+			t, err = m.writeBack(victim.LPN, t)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Fetch the mapping from its translation page, if one has ever been
+	// persisted; a never-written region costs nothing.
+	if tp := m.GTD[m.TVPN(lpn)]; tp != flash.InvalidPPN {
+		end, err := m.dev.ReadPage(tp, t, flash.CauseMap)
+		if err != nil {
+			return 0, err
+		}
+		m.stats.TransReads++
+		t = end
+	}
+	return t, nil
+}
+
+// writeBack performs the read-modify-write of the translation page covering
+// lpn (§III.D lines 7-9: consult the GTD, read, update, re-write to a new
+// physical location, update the GTD). The rewrite persists the current
+// authoritative table, so it also absorbs any lazy GC redirects and batched
+// dirty mappings covering the same page.
+func (m *Mapper) writeBack(lpn LPN, ready sim.Time) (sim.Time, error) {
+	tvpn := m.TVPN(lpn)
+	t := ready
+	old := m.GTD[tvpn]
+	if old != flash.InvalidPPN {
+		end, err := m.dev.ReadPage(old, t, flash.CauseMap)
+		if err != nil {
+			return 0, err
+		}
+		m.stats.TransReads++
+		t = end
+	}
+	ppn, t, err := m.placer.PlacePage(EncodeTrans(tvpn), t)
+	if err != nil {
+		return 0, err
+	}
+	// Placement may have garbage-collected the plane and relocated (or
+	// erased the block of) the very translation page we are superseding;
+	// re-read its location before invalidating.
+	old = m.GTD[tvpn]
+	end, err := m.dev.WritePage(ppn, EncodeTrans(tvpn), t, flash.CauseMap)
+	if err != nil {
+		return 0, err
+	}
+	m.stats.TransWrites++
+	if old != flash.InvalidPPN {
+		if err := m.dev.Invalidate(old); err != nil {
+			return 0, err
+		}
+		m.tracker.Invalidated(m.dev.Geometry().BlockOf(old))
+	}
+	m.GTD[tvpn] = ppn
+	// DFTL's batch update: the rewrite persisted every cached dirty mapping
+	// of this translation page, so clean them all.
+	m.stats.BatchCleaned += int64(m.CMT.CleanPage(tvpn))
+	return end, nil
+}
+
+// RecordWrite commits a host write: the table points at newPPN and the CMT
+// entry (present after Resolve) becomes dirty. The superseded page, if any,
+// is invalidated. It returns the old physical page or InvalidPPN.
+func (m *Mapper) RecordWrite(lpn LPN, newPPN flash.PPN) (flash.PPN, error) {
+	old := m.Table[lpn]
+	m.Table[lpn] = newPPN
+	if !m.CMT.Update(lpn, newPPN, true) {
+		return flash.InvalidPPN, fmt.Errorf("ftl: RecordWrite of unresolved lpn %d", lpn)
+	}
+	if old != flash.InvalidPPN {
+		if err := m.dev.Invalidate(old); err != nil {
+			return flash.InvalidPPN, err
+		}
+		m.tracker.Invalidated(m.dev.Geometry().BlockOf(old))
+	}
+	return old, nil
+}
+
+// RedirectMoved updates mappings after garbage collection relocated pages.
+// Relocated translation pages repoint the GTD; data pages whose mapping is
+// cached are updated in the CMT (dirty, flushed at eviction). Uncached data
+// pages update only the in-SRAM table: their on-flash translation page goes
+// stale until its next write-back rewrites it wholesale. This is the lazy,
+// OOB-backed scheme real controllers use — every physical page carries its
+// logical number in the spare area (the device model stores it), so a stale
+// translation entry is recoverable and need not be rewritten per move.
+// Rewriting translation pages per GC move instead creates a feedback loop
+// with gain above one (each move spawns a translation write, which consumes
+// a page, which forces more GC) that collapses every configuration under
+// sustained collection.
+func (m *Mapper) RedirectMoved(moved []Moved, ready sim.Time) (sim.Time, error) {
+	for _, mv := range moved {
+		if IsTrans(mv.Stored) {
+			m.GTD[DecodeTrans(mv.Stored)] = mv.New
+			continue
+		}
+		lpn := LPN(mv.Stored)
+		m.Table[lpn] = mv.New
+		if !m.CMT.Update(lpn, mv.New, true) {
+			m.stats.LazyRedirects++
+		}
+	}
+	return ready, nil
+}
+
+// Retarget repoints the mapper's placer and invalidation tracker; recovery
+// uses it after rebuilding those structures from an OOB scan.
+func (m *Mapper) Retarget(placer Placer, tracker *Tracker) {
+	m.placer = placer
+	m.tracker = tracker
+}

@@ -1,0 +1,339 @@
+// Package pagemap implements an idealized page-mapping FTL: the complete
+// logical-to-physical table lives in SRAM, so address translation is free.
+// No real controller can afford that RAM at SSD scale (§II.A: the table
+// "generates an expensive SRAM cache overhead"), which is exactly why DFTL
+// and DLOOP demand-page it — but the ideal makes a useful upper-bound
+// baseline: the gap between PureMap and DFTL is the price of demand paging;
+// the gap between PureMap striped and unstriped isolates placement effects
+// from mapping effects.
+//
+// Placement is configurable: Striped follows DLOOP's equation (1) and
+// collects per plane with copy-back; unstriped appends to one global write
+// point and collects globally with external moves, like DFTL's layout.
+package pagemap
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/sim"
+)
+
+// Config parameterizes the ideal FTL.
+type Config struct {
+	// GCThreshold triggers collection when a pool drops below it (default 3).
+	GCThreshold int
+	// ExtraPerPlane matches the over-provisioning of the other FTLs.
+	ExtraPerPlane int
+	// Striped selects DLOOP-style placement (equation (1), per-plane pools,
+	// copy-back GC). False selects DFTL-style plane-oblivious appending
+	// with external GC moves.
+	Striped bool
+}
+
+func (c *Config) setDefaults() {
+	if c.GCThreshold == 0 {
+		c.GCThreshold = 3
+	}
+}
+
+// Stats exposes the ideal FTL's counters.
+type Stats struct {
+	GCRuns      int64
+	GCMoves     int64
+	ParityWaste int64
+}
+
+type writePoint struct {
+	pb     flash.PlaneBlock
+	next   int
+	active bool
+}
+
+// PureMap is the ideal page-mapping FTL. Not safe for concurrent use.
+type PureMap struct {
+	dev      *flash.Device
+	geo      flash.Geometry
+	cfg      Config
+	capacity ftl.LPN
+
+	table   []flash.PPN
+	pool    *ftl.FreeBlocks
+	tracker *ftl.Tracker
+	cur     []writePoint // per plane when striped; index 0 otherwise
+	inGC    bool
+
+	stats Stats
+}
+
+// New builds an ideal page-mapping FTL over dev.
+func New(dev *flash.Device, cfg Config) (*PureMap, error) {
+	cfg.setDefaults()
+	geo := dev.Geometry()
+	if cfg.ExtraPerPlane < cfg.GCThreshold+1 || cfg.ExtraPerPlane >= geo.BlocksPerPlane {
+		return nil, fmt.Errorf("pagemap: bad ExtraPerPlane %d", cfg.ExtraPerPlane)
+	}
+	f := &PureMap{
+		dev:      dev,
+		geo:      geo,
+		cfg:      cfg,
+		capacity: ftl.ExportedPages(geo, cfg.ExtraPerPlane),
+		pool:     ftl.NewFreeBlocks(geo),
+		tracker:  ftl.NewTracker(geo),
+		cur:      make([]writePoint, geo.Planes()),
+	}
+	f.table = make([]flash.PPN, f.capacity)
+	for i := range f.table {
+		f.table[i] = flash.InvalidPPN
+	}
+	return f, nil
+}
+
+// Name implements ftl.FTL.
+func (f *PureMap) Name() string {
+	if f.cfg.Striped {
+		return "PureMap-striped"
+	}
+	return "PureMap"
+}
+
+// Capacity implements ftl.FTL.
+func (f *PureMap) Capacity() ftl.LPN { return f.capacity }
+
+// Stats returns the ideal FTL's counters.
+func (f *PureMap) Stats() Stats { return f.stats }
+
+// Lookup returns the current physical page of lpn without side effects.
+func (f *PureMap) Lookup(lpn ftl.LPN) flash.PPN {
+	if ftl.CheckLPN(lpn, f.capacity) != nil {
+		return flash.InvalidPPN
+	}
+	return f.table[lpn]
+}
+
+func (f *PureMap) planeFor(lpn ftl.LPN) int {
+	if f.cfg.Striped {
+		return int(int64(lpn) % int64(f.geo.Planes()))
+	}
+	return 0 // single global write point, stored in cur[pb.Plane] of its block
+}
+
+// ReadPage implements ftl.FTL. Translation is free: the table is in SRAM.
+func (f *PureMap) ReadPage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	if err := ftl.CheckLPN(lpn, f.capacity); err != nil {
+		return 0, err
+	}
+	ppn := f.table[lpn]
+	if ppn == flash.InvalidPPN {
+		return ready, nil
+	}
+	return f.dev.ReadPage(ppn, ready, flash.CauseHost)
+}
+
+// WritePage implements ftl.FTL.
+func (f *PureMap) WritePage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	if err := ftl.CheckLPN(lpn, f.capacity); err != nil {
+		return 0, err
+	}
+	t := ready
+	var err error
+	if !f.inGC {
+		t, err = f.maybeCollect(f.planeFor(lpn), t)
+		if err != nil {
+			return 0, err
+		}
+	}
+	ppn, err := f.nextFreePage(f.planeFor(lpn))
+	if err != nil {
+		return 0, err
+	}
+	end, err := f.dev.WritePage(ppn, int64(lpn), t, flash.CauseHost)
+	if err != nil {
+		return 0, err
+	}
+	if old := f.table[lpn]; old != flash.InvalidPPN {
+		if err := f.dev.Invalidate(old); err != nil {
+			return 0, err
+		}
+		f.tracker.Invalidated(f.geo.BlockOf(old))
+	}
+	f.table[lpn] = ppn
+	return end, nil
+}
+
+// nextFreePage advances a write point. In striped mode `wp` is the plane;
+// unstriped mode uses a single global write point (slot 0) drawing from any
+// plane in plane-major order.
+func (f *PureMap) nextFreePage(wpIdx int) (flash.PPN, error) {
+	wp := &f.cur[wpIdx]
+	if wp.active && wp.next >= f.geo.PagesPerBlock {
+		f.tracker.Close(wp.pb)
+		wp.active = false
+	}
+	if !wp.active {
+		var pb flash.PlaneBlock
+		var ok bool
+		if f.cfg.Striped {
+			pb, ok = f.pool.TakeFromPlane(wpIdx)
+		} else {
+			pb, ok = f.pool.TakeAny()
+		}
+		if !ok {
+			return flash.InvalidPPN, fmt.Errorf("pagemap: free blocks exhausted (capacity overcommitted)")
+		}
+		wp.pb, wp.next, wp.active = pb, 0, true
+	}
+	ppn := f.geo.PPNOf(wp.pb.Plane, wp.pb.Block, wp.next)
+	wp.next++
+	return ppn, nil
+}
+
+// destParity returns the in-block parity of the next page the plane's write
+// point will hand out (a fresh block starts at even offset 0).
+func (f *PureMap) destParity(plane int) int {
+	wp := &f.cur[plane]
+	if !wp.active || wp.next >= f.geo.PagesPerBlock {
+		return 0
+	}
+	return wp.next % 2
+}
+
+func (f *PureMap) poolLow(plane int) bool {
+	if f.cfg.Striped {
+		return f.pool.InPlane(plane) < f.cfg.GCThreshold
+	}
+	return f.pool.Total() < f.cfg.GCThreshold
+}
+
+// freePages counts writable pages available to a write point's pool.
+func (f *PureMap) freePages(plane int) int {
+	var n int
+	if f.cfg.Striped {
+		n = f.pool.InPlane(plane) * f.geo.PagesPerBlock
+		if wp := &f.cur[plane]; wp.active {
+			n += f.geo.PagesPerBlock - wp.next
+		}
+	} else {
+		n = f.pool.Total() * f.geo.PagesPerBlock
+		if wp := &f.cur[0]; wp.active {
+			n += f.geo.PagesPerBlock - wp.next
+		}
+	}
+	return n
+}
+
+func (f *PureMap) maybeCollect(plane int, ready sim.Time) (sim.Time, error) {
+	t := ready
+	for f.poolLow(plane) {
+		before := f.freePages(plane)
+		end, reclaimed, err := f.collect(plane, t)
+		if err != nil {
+			return 0, err
+		}
+		if !reclaimed {
+			break
+		}
+		t = end
+		if f.freePages(plane) <= before {
+			break // no net progress (parity waste ate the reclaim); retry on the next write
+		}
+	}
+	return t, nil
+}
+
+func (f *PureMap) collect(plane int, ready sim.Time) (end sim.Time, reclaimed bool, err error) {
+	var victim flash.PlaneBlock
+	var ok bool
+	if f.cfg.Striped {
+		victim, _, ok = f.tracker.MaxInPlane(plane)
+	} else {
+		victim, _, ok = f.tracker.MaxGlobal()
+	}
+	if !ok {
+		return ready, false, nil
+	}
+	f.tracker.Take(victim)
+	f.inGC = true
+	defer func() { f.inGC = false }()
+
+	t := ready
+	first := f.geo.FirstPPN(victim)
+	// Striped mode orders moves so the source parity matches the write
+	// point (same scheme as DLOOP): a page is wasted only when the
+	// remaining pages are all of the wrong parity.
+	var byParity [2][]int
+	for p := 0; p < f.geo.PagesPerBlock; p++ {
+		if f.dev.PageState(first+flash.PPN(p)) == flash.PageValid {
+			byParity[p%2] = append(byParity[p%2], p)
+		}
+	}
+	for len(byParity[0])+len(byParity[1]) > 0 {
+		var p int
+		if f.cfg.Striped {
+			want := f.destParity(victim.Plane)
+			if len(byParity[want]) == 0 {
+				var dst flash.PPN
+				dst, err = f.nextFreePage(victim.Plane)
+				if err != nil {
+					return 0, false, err
+				}
+				if err = f.dev.WastePage(dst); err != nil {
+					return 0, false, err
+				}
+				f.tracker.Invalidated(f.geo.BlockOf(dst))
+				f.stats.ParityWaste++
+				continue
+			}
+			p = byParity[want][0]
+			byParity[want] = byParity[want][1:]
+		} else {
+			if len(byParity[0]) > 0 {
+				p = byParity[0][0]
+				byParity[0] = byParity[0][1:]
+			} else {
+				p = byParity[1][0]
+				byParity[1] = byParity[1][1:]
+			}
+		}
+		src := first + flash.PPN(p)
+		lpn := ftl.LPN(f.dev.PageLPN(src))
+		var dst flash.PPN
+		if f.cfg.Striped {
+			dst, err = f.nextFreePage(victim.Plane)
+			if err != nil {
+				return 0, false, err
+			}
+			t, err = f.dev.CopyBack(src, dst, t, flash.CauseGC)
+			if err != nil {
+				return 0, false, err
+			}
+		} else {
+			dst, err = f.nextFreePage(0)
+			if err != nil {
+				return 0, false, err
+			}
+			t, err = f.dev.ReadPage(src, t, flash.CauseGC)
+			if err != nil {
+				return 0, false, err
+			}
+			t, err = f.dev.WritePage(dst, int64(lpn), t, flash.CauseGC)
+			if err != nil {
+				return 0, false, err
+			}
+			if err = f.dev.Invalidate(src); err != nil {
+				return 0, false, err
+			}
+		}
+		f.table[lpn] = dst
+		f.stats.GCMoves++
+	}
+	t, err = f.dev.Erase(victim, t, flash.CauseGC)
+	if err != nil {
+		return 0, false, err
+	}
+	f.tracker.Erased(victim)
+	f.pool.Put(victim)
+	f.stats.GCRuns++
+	return t, true, nil
+}

@@ -1,0 +1,170 @@
+package pagemap
+
+import (
+	"testing"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/sim"
+)
+
+func testGeo() flash.Geometry {
+	return flash.Geometry{
+		Channels: 2, PackagesPerChannel: 1, ChipsPerPackage: 2,
+		DiesPerChip: 1, PlanesPerDie: 2, BlocksPerPlane: 16,
+		PagesPerBlock: 8, PageSize: 2048,
+	}
+}
+
+func newTestFTL(t *testing.T, striped bool) (*PureMap, *flash.Device) {
+	t.Helper()
+	dev, err := flash.NewDevice(testGeo(), flash.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(dev, Config{ExtraPerPlane: 4, Striped: striped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, dev
+}
+
+func TestNewValidation(t *testing.T) {
+	dev, _ := flash.NewDevice(testGeo(), flash.DefaultTiming())
+	if _, err := New(dev, Config{ExtraPerPlane: 2, GCThreshold: 3}); err == nil {
+		t.Error("extra <= threshold accepted")
+	}
+	if _, err := New(dev, Config{ExtraPerPlane: 99}); err == nil {
+		t.Error("oversized extra accepted")
+	}
+}
+
+func TestTranslationIsFree(t *testing.T) {
+	for _, striped := range []bool{false, true} {
+		f, dev := newTestFTL(t, striped)
+		end, err := f.WritePage(10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A write costs exactly one external program: no translation traffic.
+		want := sim.Time(0).Add(dev.Timing().ExternalWrite(dev.Geometry().PageSize))
+		if end != want {
+			t.Fatalf("striped=%v: write cost %v, want %v", striped, end, want)
+		}
+		rEnd, err := f.ReadPage(10, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rEnd.Sub(end); got != dev.Timing().ExternalRead(dev.Geometry().PageSize) {
+			t.Fatalf("striped=%v: read cost %v", striped, got)
+		}
+		// Unwritten read is free.
+		if got, err := f.ReadPage(500, end); err != nil || got != end {
+			t.Fatalf("unwritten read: %v %v", got, err)
+		}
+	}
+}
+
+func TestStripedPlacementFollowsEquationOne(t *testing.T) {
+	f, dev := newTestFTL(t, true)
+	geo := dev.Geometry()
+	var at sim.Time
+	for lpn := ftl.LPN(0); lpn < 64; lpn++ {
+		end, err := f.WritePage(lpn, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = end
+		if want := int(int64(lpn) % int64(geo.Planes())); geo.PlaneOf(f.Lookup(lpn)) != want {
+			t.Fatalf("lpn %d on plane %d, want %d", lpn, geo.PlaneOf(f.Lookup(lpn)), want)
+		}
+	}
+}
+
+func TestUnstripedAppendsPlaneMajor(t *testing.T) {
+	f, dev := newTestFTL(t, false)
+	geo := dev.Geometry()
+	var at sim.Time
+	for lpn := ftl.LPN(0); lpn < 8; lpn++ {
+		end, err := f.WritePage(lpn, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = end
+		if geo.PlaneOf(f.Lookup(lpn)) != 0 {
+			t.Fatalf("lpn %d not on plane 0", lpn)
+		}
+	}
+}
+
+func gcWorkload(t *testing.T, f *PureMap) {
+	t.Helper()
+	var at sim.Time
+	for i := 0; i < 6000; i++ {
+		lpn := ftl.LPN(i % 96)
+		if i%8 == 0 {
+			lpn = ftl.LPN(96 + i/8%500)
+		}
+		end, err := f.WritePage(lpn, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = end
+	}
+}
+
+func TestStripedGCUsesCopyBack(t *testing.T) {
+	f, dev := newTestFTL(t, true)
+	gcWorkload(t, f)
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("GC never ran")
+	}
+	cb, ext := dev.Stats().GCMoves()
+	if cb == 0 || ext != 0 {
+		t.Fatalf("striped moves cb=%d ext=%d, want all copy-back", cb, ext)
+	}
+}
+
+func TestUnstripedGCUsesExternalMoves(t *testing.T) {
+	f, dev := newTestFTL(t, false)
+	gcWorkload(t, f)
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("GC never ran")
+	}
+	cb, ext := dev.Stats().GCMoves()
+	if ext == 0 || cb != 0 {
+		t.Fatalf("unstriped moves cb=%d ext=%d, want all external", cb, ext)
+	}
+	if f.Stats().ParityWaste != 0 {
+		t.Fatal("unstriped mode wasted pages")
+	}
+}
+
+func TestMappingConsistencyAfterGC(t *testing.T) {
+	for _, striped := range []bool{false, true} {
+		f, dev := newTestFTL(t, striped)
+		gcWorkload(t, f)
+		for lpn := ftl.LPN(0); lpn < f.Capacity(); lpn++ {
+			ppn := f.Lookup(lpn)
+			if ppn == flash.InvalidPPN {
+				continue
+			}
+			if dev.PageState(ppn) != flash.PageValid || dev.PageLPN(ppn) != int64(lpn) {
+				t.Fatalf("striped=%v: lpn %d inconsistent", striped, lpn)
+			}
+		}
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	f, _ := newTestFTL(t, true)
+	if _, err := f.WritePage(f.Capacity(), 0); err == nil {
+		t.Error("write beyond capacity accepted")
+	}
+	if _, err := f.ReadPage(-1, 0); err == nil {
+		t.Error("negative read accepted")
+	}
+	if f.Lookup(f.Capacity()) != flash.InvalidPPN {
+		t.Error("Lookup beyond capacity")
+	}
+}

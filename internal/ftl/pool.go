@@ -1,0 +1,71 @@
+package ftl
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+)
+
+// FreeBlocks tracks the erased blocks of a device, grouped per plane. DLOOP
+// maintains a pool per plane (§III.C); DFTL and FAST draw from the device
+// globally in plane-major order, which is what concentrates their allocation
+// on low-numbered planes (§V.B's explanation of DFTL's TPC-C collapse).
+type FreeBlocks struct {
+	perPlane [][]int // free in-plane block indices, ascending (used as a stack from the front)
+	total    int
+}
+
+// NewFreeBlocks returns a pool containing every block of the geometry, all
+// free (a freshly erased device).
+func NewFreeBlocks(geo flash.Geometry) *FreeBlocks {
+	f := &FreeBlocks{perPlane: make([][]int, geo.Planes())}
+	for p := range f.perPlane {
+		blocks := make([]int, geo.BlocksPerPlane)
+		for b := range blocks {
+			blocks[b] = b
+		}
+		f.perPlane[p] = blocks
+	}
+	f.total = geo.Planes() * geo.BlocksPerPlane
+	return f
+}
+
+// Total returns the number of free blocks device-wide.
+func (f *FreeBlocks) Total() int { return f.total }
+
+// InPlane returns the number of free blocks on one plane.
+func (f *FreeBlocks) InPlane(plane int) int { return len(f.perPlane[plane]) }
+
+// TakeFromPlane removes and returns the lowest-numbered free block of the
+// given plane. ok is false if the plane has none.
+func (f *FreeBlocks) TakeFromPlane(plane int) (pb flash.PlaneBlock, ok bool) {
+	blocks := f.perPlane[plane]
+	if len(blocks) == 0 {
+		return flash.PlaneBlock{}, false
+	}
+	b := blocks[0]
+	f.perPlane[plane] = blocks[1:]
+	f.total--
+	return flash.PlaneBlock{Plane: plane, Block: b}, true
+}
+
+// TakeAny removes and returns a free block in plane-major order: the
+// lowest-numbered plane that has one. ok is false if the device has none.
+func (f *FreeBlocks) TakeAny() (pb flash.PlaneBlock, ok bool) {
+	for plane := range f.perPlane {
+		if pb, ok := f.TakeFromPlane(plane); ok {
+			return pb, true
+		}
+	}
+	return flash.PlaneBlock{}, false
+}
+
+// Put returns an erased block to its plane's pool.
+func (f *FreeBlocks) Put(pb flash.PlaneBlock) {
+	f.perPlane[pb.Plane] = append(f.perPlane[pb.Plane], pb.Block)
+	f.total++
+}
+
+func (f *FreeBlocks) String() string {
+	return fmt.Sprintf("free blocks: %d over %d planes", f.total, len(f.perPlane))
+}

@@ -1,0 +1,122 @@
+package ftl
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+)
+
+// Power-loss recovery. NAND controllers store each page's logical address in
+// the page's out-of-band (OOB) spare area — the device model keeps that tag
+// (flash.Device.PageLPN) — so after a crash the whole mapping can be rebuilt
+// by scanning the device: every valid page names its logical owner, every
+// fully-free block returns to the pool, and partially-written blocks resume
+// as write points. This is also what makes the Mapper's lazy GC redirects
+// safe: a translation page left stale on flash is never the authority — the
+// OOB tags are.
+
+// PartialBlock is a block the scan found partially programmed: it was a
+// write point when power failed and resumes as one.
+type PartialBlock struct {
+	PB        flash.PlaneBlock
+	NextWrite int
+}
+
+// RecoveredState is the outcome of an OOB scan.
+type RecoveredState struct {
+	// Table maps each logical page to its valid physical page.
+	Table []flash.PPN
+	// GTD maps each translation-page number to its valid physical page.
+	GTD []flash.PPN
+	// Pool holds the fully-erased blocks.
+	Pool *FreeBlocks
+	// Tracker indexes the fully-written blocks by invalid count.
+	Tracker *Tracker
+	// Partial lists partially-written blocks, at most one per plane for
+	// per-plane write-point designs.
+	Partial []PartialBlock
+}
+
+// ScanOOB rebuilds FTL state from device page tags after a simulated power
+// loss. capacity is the exported logical-page count; translationPages the
+// GTD size. The scan is structural: it consumes no simulated time because
+// recovery time is outside the paper's measurements, but a real controller
+// would pay one read per page (or per block summary page).
+func ScanOOB(dev *flash.Device, capacity LPN, translationPages int) (*RecoveredState, error) {
+	geo := dev.Geometry()
+	st := &RecoveredState{
+		Table:   make([]flash.PPN, capacity),
+		GTD:     make([]flash.PPN, translationPages),
+		Pool:    NewEmptyFreeBlocks(geo),
+		Tracker: NewTracker(geo),
+	}
+	for i := range st.Table {
+		st.Table[i] = flash.InvalidPPN
+	}
+	for i := range st.GTD {
+		st.GTD[i] = flash.InvalidPPN
+	}
+
+	for plane := 0; plane < geo.Planes(); plane++ {
+		for block := 0; block < geo.BlocksPerPlane; block++ {
+			pb := flash.PlaneBlock{Plane: plane, Block: block}
+			info := dev.Block(pb)
+			first := geo.FirstPPN(pb)
+			for p := 0; p < geo.PagesPerBlock; p++ {
+				ppn := first + flash.PPN(p)
+				switch dev.PageState(ppn) {
+				case flash.PageValid:
+					stored := dev.PageLPN(ppn)
+					if IsTrans(stored) {
+						tvpn := DecodeTrans(stored)
+						if tvpn < 0 || tvpn >= int64(translationPages) {
+							return nil, fmt.Errorf("ftl: recovery found translation page %d outside GTD of %d", tvpn, translationPages)
+						}
+						if st.GTD[tvpn] != flash.InvalidPPN {
+							return nil, fmt.Errorf("ftl: recovery found two valid copies of translation page %d", tvpn)
+						}
+						st.GTD[tvpn] = ppn
+					} else {
+						lpn := LPN(stored)
+						if err := CheckLPN(lpn, capacity); err != nil {
+							return nil, fmt.Errorf("ftl: recovery: %w", err)
+						}
+						if st.Table[lpn] != flash.InvalidPPN {
+							return nil, fmt.Errorf("ftl: recovery found two valid copies of lpn %d", lpn)
+						}
+						st.Table[lpn] = ppn
+					}
+				case flash.PageInvalid:
+					st.Tracker.Invalidated(pb)
+				}
+			}
+			switch {
+			case info.Written == 0:
+				st.Pool.Put(pb)
+			case info.NextWrite >= geo.PagesPerBlock:
+				st.Tracker.Close(pb)
+			default:
+				st.Partial = append(st.Partial, PartialBlock{PB: pb, NextWrite: info.NextWrite})
+			}
+		}
+	}
+	return st, nil
+}
+
+// NewEmptyFreeBlocks returns a pool with no free blocks; recovery fills it
+// from the scan.
+func NewEmptyFreeBlocks(geo flash.Geometry) *FreeBlocks {
+	return &FreeBlocks{perPlane: make([][]int, geo.Planes())}
+}
+
+// AdoptState installs a recovered table and GTD into the mapper (the CMT
+// starts cold, as SRAM is lost at power-off).
+func (m *Mapper) AdoptState(table, gtd []flash.PPN) error {
+	if len(table) != len(m.Table) || len(gtd) != len(m.GTD) {
+		return fmt.Errorf("ftl: recovered state shape %d/%d does not match mapper %d/%d",
+			len(table), len(gtd), len(m.Table), len(m.GTD))
+	}
+	copy(m.Table, table)
+	copy(m.GTD, gtd)
+	return nil
+}

@@ -1,0 +1,136 @@
+package ftl
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+)
+
+// Tracker indexes closed (fully written) blocks by invalid-page count so
+// garbage collection can find "the block with the maximal number of invalid
+// pages" (§III.C) in O(1) amortized instead of scanning every block. Victim
+// picks are deterministic (LIFO within a bucket), keeping whole simulations
+// reproducible.
+type Tracker struct {
+	geo     flash.Geometry
+	invalid []int32 // invalid pages per block (dense index), live even while open
+	inBkt   []int32 // position within its bucket, -1 if not a candidate
+	buckets [][][]int32
+	// buckets[plane][count] holds in-plane block ids of closed candidates
+	maxCount []int // per plane: highest count whose bucket may be non-empty
+}
+
+// NewTracker returns a tracker with no candidates and all-zero counts.
+func NewTracker(geo flash.Geometry) *Tracker {
+	t := &Tracker{
+		geo:      geo,
+		invalid:  make([]int32, geo.TotalBlocks()),
+		inBkt:    make([]int32, geo.TotalBlocks()),
+		buckets:  make([][][]int32, geo.Planes()),
+		maxCount: make([]int, geo.Planes()),
+	}
+	for i := range t.inBkt {
+		t.inBkt[i] = -1
+	}
+	for p := range t.buckets {
+		t.buckets[p] = make([][]int32, geo.PagesPerBlock+1)
+	}
+	return t
+}
+
+// Invalidated records that one page of pb became invalid (host update,
+// translation-page supersession, or a deliberately wasted page).
+func (t *Tracker) Invalidated(pb flash.PlaneBlock) {
+	bi := t.geo.BlockIndex(pb)
+	old := t.invalid[bi]
+	t.invalid[bi] = old + 1
+	if t.inBkt[bi] >= 0 {
+		t.moveBucket(pb, int(old), int(old+1))
+	}
+}
+
+// Close marks pb fully written: it becomes a garbage-collection candidate.
+func (t *Tracker) Close(pb flash.PlaneBlock) {
+	bi := t.geo.BlockIndex(pb)
+	if t.inBkt[bi] >= 0 {
+		panic(fmt.Sprintf("ftl: Tracker.Close of candidate %v", pb))
+	}
+	t.addBucket(pb, int(t.invalid[bi]))
+}
+
+// Take removes pb from candidacy (it was chosen as a victim or re-opened).
+func (t *Tracker) Take(pb flash.PlaneBlock) {
+	bi := t.geo.BlockIndex(pb)
+	if t.inBkt[bi] < 0 {
+		panic(fmt.Sprintf("ftl: Tracker.Take of non-candidate %v", pb))
+	}
+	t.delBucket(pb, int(t.invalid[bi]))
+}
+
+// Erased resets pb's invalid count after a block erase.
+func (t *Tracker) Erased(pb flash.PlaneBlock) {
+	bi := t.geo.BlockIndex(pb)
+	if t.inBkt[bi] >= 0 {
+		panic(fmt.Sprintf("ftl: Tracker.Erased of candidate %v", pb))
+	}
+	t.invalid[bi] = 0
+}
+
+// Invalid returns the tracked invalid-page count of pb.
+func (t *Tracker) Invalid(pb flash.PlaneBlock) int {
+	return int(t.invalid[t.geo.BlockIndex(pb)])
+}
+
+// MaxInPlane returns the candidate with the most invalid pages on one plane.
+// ok is false if the plane has no candidate with at least one invalid page.
+func (t *Tracker) MaxInPlane(plane int) (pb flash.PlaneBlock, invalid int, ok bool) {
+	bkts := t.buckets[plane]
+	for c := t.maxCount[plane]; c >= 1; c-- {
+		if n := len(bkts[c]); n > 0 {
+			t.maxCount[plane] = c
+			return flash.PlaneBlock{Plane: plane, Block: int(bkts[c][n-1])}, c, true
+		}
+	}
+	t.maxCount[plane] = 0
+	return flash.PlaneBlock{}, 0, false
+}
+
+// MaxGlobal returns the candidate with the most invalid pages device-wide,
+// breaking ties toward lower plane numbers. ok is false if no candidate has
+// an invalid page.
+func (t *Tracker) MaxGlobal() (pb flash.PlaneBlock, invalid int, ok bool) {
+	best := 0
+	for plane := range t.buckets {
+		cand, c, okP := t.MaxInPlane(plane)
+		if okP && c > best {
+			best, pb, ok = c, cand, true
+		}
+	}
+	return pb, best, ok
+}
+
+func (t *Tracker) addBucket(pb flash.PlaneBlock, count int) {
+	bkt := &t.buckets[pb.Plane][count]
+	t.inBkt[t.geo.BlockIndex(pb)] = int32(len(*bkt))
+	*bkt = append(*bkt, int32(pb.Block))
+	if count > t.maxCount[pb.Plane] {
+		t.maxCount[pb.Plane] = count
+	}
+}
+
+func (t *Tracker) delBucket(pb flash.PlaneBlock, count int) {
+	bi := t.geo.BlockIndex(pb)
+	bkt := t.buckets[pb.Plane][count]
+	pos := t.inBkt[bi]
+	last := len(bkt) - 1
+	moved := bkt[last]
+	bkt[pos] = moved
+	t.inBkt[t.geo.BlockIndex(flash.PlaneBlock{Plane: pb.Plane, Block: int(moved)})] = pos
+	t.buckets[pb.Plane][count] = bkt[:last]
+	t.inBkt[bi] = -1
+}
+
+func (t *Tracker) moveBucket(pb flash.PlaneBlock, from, to int) {
+	t.delBucket(pb, from)
+	t.addBucket(pb, to)
+}

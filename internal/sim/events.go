@@ -1,0 +1,90 @@
+package sim
+
+import "container/heap"
+
+// Event is a unit of future work in the simulation: a callback that fires at
+// a point in simulated time.
+type Event struct {
+	At Time
+	Do func(at Time)
+
+	seq   int64 // tie-break so equal-time events fire in insertion order
+	index int   // heap bookkeeping
+}
+
+// EventQueue is a time-ordered queue of events. Events with equal timestamps
+// fire in insertion order, which keeps trace replay deterministic.
+type EventQueue struct {
+	h   eventHeap
+	seq int64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue {
+	return &EventQueue{}
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues a callback to fire at the given time.
+func (q *EventQueue) Schedule(at Time, do func(at Time)) {
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Do: do, seq: q.seq})
+}
+
+// Next removes and returns the earliest event, or nil if the queue is empty.
+func (q *EventQueue) Next() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// RunAll drains the queue, invoking each event's callback in time order.
+// Callbacks may schedule further events. It returns the timestamp of the last
+// event fired, or zero if the queue was empty.
+func (q *EventQueue) RunAll() Time {
+	var last Time
+	for {
+		ev := q.Next()
+		if ev == nil {
+			return last
+		}
+		last = ev.At
+		ev.Do(ev.At)
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,157 @@
+package sim
+
+// Resource is a hardware unit that serves one operation at a time: a plane's
+// cell array, a chip's serial I/O bus, or a channel. It tracks the occupied
+// intervals of its recent timeline and places each new operation into the
+// earliest gap that fits — the out-of-order dispatch the paper's simulator
+// implements with its priority list ("if the targeting channel and plane of
+// the request are available, it will be immediately handed to the hardware
+// module"). Without backfill, one operation scheduled far in the future
+// would burn the idle gap before it and artificially delay every later
+// operation.
+type Resource struct {
+	name string
+	// solidUntil is the time before which the resource is treated as fully
+	// occupied; busy intervals older than the retention window are folded
+	// into it. busy holds disjoint occupied intervals at or after
+	// solidUntil, sorted by start.
+	solidUntil Time
+	busy       []interval
+	busyFor    Duration
+	ops        int64
+}
+
+type interval struct {
+	start, end Time
+}
+
+// retainIntervals bounds the per-resource scheduling window. Operations are
+// near-monotone in time, so a short window loses almost no gaps while
+// keeping Acquire O(window).
+const retainIntervals = 64
+
+// NewResource returns an idle resource with the given diagnostic name.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name returns the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// FreeAt returns the time the resource's last scheduled occupation ends —
+// the earliest start for an operation that must follow everything scheduled
+// so far.
+func (r *Resource) FreeAt() Time {
+	if n := len(r.busy); n > 0 {
+		return r.busy[n-1].end
+	}
+	return r.solidUntil
+}
+
+// BusyTime returns the total simulated time r has spent occupied.
+func (r *Resource) BusyTime() Duration { return r.busyFor }
+
+// Ops returns the number of occupations served by r.
+func (r *Resource) Ops() int64 { return r.ops }
+
+// Reset returns the resource to idle at time zero and clears statistics.
+// The SSD controller uses it to discard preconditioning activity.
+func (r *Resource) Reset() {
+	r.solidUntil = 0
+	r.busy = r.busy[:0]
+	r.busyFor = 0
+	r.ops = 0
+}
+
+// fitFrom returns the earliest start >= ready at which a duration d fits
+// into r's gaps.
+func (r *Resource) fitFrom(ready Time, d Duration) Time {
+	start := MaxTime(ready, r.solidUntil)
+	for _, iv := range r.busy {
+		if start.Add(d) <= iv.start {
+			return start
+		}
+		if iv.end > start {
+			start = iv.end
+		}
+	}
+	return start
+}
+
+func (r *Resource) insert(iv interval) {
+	// Find insertion point (busy is sorted by start and disjoint).
+	pos := len(r.busy)
+	for i, b := range r.busy {
+		if iv.start < b.start {
+			pos = i
+			break
+		}
+	}
+	r.busy = append(r.busy, interval{})
+	copy(r.busy[pos+1:], r.busy[pos:])
+	r.busy[pos] = iv
+	// Coalesce with neighbors that touch exactly.
+	if pos+1 < len(r.busy) && r.busy[pos].end == r.busy[pos+1].start {
+		r.busy[pos].end = r.busy[pos+1].end
+		r.busy = append(r.busy[:pos+1], r.busy[pos+2:]...)
+	}
+	if pos > 0 && r.busy[pos-1].end == r.busy[pos].start {
+		r.busy[pos-1].end = r.busy[pos].end
+		r.busy = append(r.busy[:pos], r.busy[pos+1:]...)
+	}
+	// Bound the window: fold the oldest intervals (and the gaps before
+	// them) into solidUntil.
+	for len(r.busy) > retainIntervals {
+		r.solidUntil = r.busy[0].end
+		r.busy = r.busy[1:]
+	}
+}
+
+// Acquire occupies r for d in the earliest gap starting no earlier than
+// ready, returning the interval [start, end) actually occupied.
+func (r *Resource) Acquire(ready Time, d Duration) (start, end Time) {
+	start = r.fitFrom(ready, d)
+	end = start.Add(d)
+	if d > 0 {
+		r.insert(interval{start, end})
+	}
+	r.busyFor += d
+	r.ops++
+	return start, end
+}
+
+// EarliestStart reports when an operation that is ready at the given time
+// and needs every resource in rs for duration d could begin, without
+// acquiring anything.
+func EarliestStart(ready Time, d Duration, rs ...*Resource) Time {
+	start := ready
+	for {
+		moved := false
+		for _, r := range rs {
+			if s := r.fitFrom(start, d); s > start {
+				start = s
+				moved = true
+			}
+		}
+		if !moved {
+			return start
+		}
+	}
+}
+
+// AcquireAll occupies every resource in rs for d in the earliest common gap
+// starting no earlier than ready. All resources occupy the same interval. It
+// models an operation phase (such as a page transfer) that holds the channel
+// and the chip serial bus simultaneously.
+func AcquireAll(ready Time, d Duration, rs ...*Resource) (start, end Time) {
+	start = EarliestStart(ready, d, rs...)
+	end = start.Add(d)
+	for _, r := range rs {
+		if d > 0 {
+			r.insert(interval{start, end})
+		}
+		r.busyFor += d
+		r.ops++
+	}
+	return start, end
+}

@@ -1,0 +1,145 @@
+package ssd
+
+import (
+	"testing"
+
+	"dloop/internal/trace"
+)
+
+func buildBuffered(t *testing.T, pages int) *Controller {
+	t.Helper()
+	cfg := tinyConfig(SchemeDLOOP)
+	cfg.BufferPages = pages
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBufferAbsorbsWritesAtDRAMSpeed(t *testing.T) {
+	c := buildBuffered(t, 16)
+	rt, err := c.Serve(trace.Request{Arrival: 0, LBN: 0, Sectors: 4, Op: trace.OpWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != DefaultDRAMLatency {
+		t.Fatalf("buffered write took %v, want %v", rt, DefaultDRAMLatency)
+	}
+	if got := c.Device().Stats().Writes(); got != 0 {
+		t.Fatalf("flash saw %d writes while buffered", got)
+	}
+	dirty, hitsW, _, _ := c.BufferStats()
+	if dirty != 1 || hitsW != 0 {
+		t.Fatalf("buffer stats dirty=%d hitsW=%d", dirty, hitsW)
+	}
+}
+
+func TestBufferCoalescesRewrites(t *testing.T) {
+	c := buildBuffered(t, 16)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Serve(trace.Request{Arrival: 0, LBN: 0, Sectors: 4, Op: trace.OpWrite}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty, hitsW, _, flushes := c.BufferStats()
+	if dirty != 1 || hitsW != 9 || flushes != 0 {
+		t.Fatalf("stats dirty=%d hitsW=%d flushes=%d, want 1/9/0", dirty, hitsW, flushes)
+	}
+	if got := c.Device().Stats().Writes(); got != 0 {
+		t.Fatalf("coalesced rewrites still hit flash %d times", got)
+	}
+}
+
+func TestBufferReadHit(t *testing.T) {
+	c := buildBuffered(t, 16)
+	if _, err := c.Serve(trace.Request{Arrival: 0, LBN: 0, Sectors: 4, Op: trace.OpWrite}); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := c.Serve(trace.Request{Arrival: 0, LBN: 0, Sectors: 4, Op: trace.OpRead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != DefaultDRAMLatency {
+		t.Fatalf("buffered read took %v, want DRAM latency", rt)
+	}
+	if got := c.Device().Stats().Reads(); got != 0 {
+		t.Fatal("buffered read hit flash")
+	}
+}
+
+func TestBufferEvictsWhenFull(t *testing.T) {
+	c := buildBuffered(t, 4)
+	sectorsPerPage := 4
+	for i := 0; i < 6; i++ { // 6 distinct pages through a 4-page buffer
+		lbn := int64(i * sectorsPerPage)
+		if _, err := c.Serve(trace.Request{Arrival: 0, LBN: lbn, Sectors: 4, Op: trace.OpWrite}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty, _, _, flushes := c.BufferStats()
+	if dirty != 4 || flushes != 2 {
+		t.Fatalf("dirty=%d flushes=%d, want 4/2", dirty, flushes)
+	}
+	// The two oldest pages reached flash, in order.
+	if got := c.Device().Stats().Writes(); got != 2 {
+		t.Fatalf("flash writes = %d, want 2", got)
+	}
+}
+
+func TestBufferDrain(t *testing.T) {
+	c := buildBuffered(t, 16)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Serve(trace.Request{Arrival: 0, LBN: int64(i * 4), Sectors: 4, Op: trace.OpWrite}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	dirty, _, _, _ := c.BufferStats()
+	if dirty != 0 {
+		t.Fatalf("dirty=%d after drain", dirty)
+	}
+	if got := c.Device().Stats().Writes(); got != 5 {
+		t.Fatalf("flash writes = %d, want 5", got)
+	}
+	// All five pages now readable from flash.
+	for i := 0; i < 5; i++ {
+		rt, err := c.Serve(trace.Request{Arrival: 0, LBN: int64(i * 4), Sectors: 4, Op: trace.OpRead})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt <= DefaultDRAMLatency {
+			t.Fatal("post-drain read should hit flash")
+		}
+	}
+}
+
+func TestBufferedEndToEndConsistency(t *testing.T) {
+	cfg := tinyConfig(SchemeDLOOP)
+	cfg.BufferPages = 32
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preconditionTiny(t, c)
+	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 3000, 21))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	checkMappingConsistency(t, c)
+	_, hitsW, hitsR, flushes := c.BufferStats()
+	if hitsW == 0 || flushes == 0 {
+		t.Fatalf("buffer never exercised: hitsW=%d hitsR=%d flushes=%d", hitsW, hitsR, flushes)
+	}
+}
+
+func TestDrainWithoutBufferIsNoop(t *testing.T) {
+	c := buildTiny(t, SchemeDLOOP)
+	if end, err := c.Drain(42); err != nil || end != 42 {
+		t.Fatalf("Drain: %v %v", end, err)
+	}
+}

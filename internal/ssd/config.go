@@ -1,0 +1,330 @@
+// Package ssd assembles a complete simulated solid-state disk: a flash
+// device, one of the three FTLs, and a controller that splits host requests
+// into page operations, preconditions the device into steady state, replays
+// traces, and collects the paper's metrics (mean response time, SDRPP, and
+// the garbage-collection/merge accounting behind them).
+package ssd
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/ftl/bast"
+	"dloop/internal/ftl/dftl"
+	"dloop/internal/ftl/dloop"
+	"dloop/internal/ftl/fast"
+	"dloop/internal/ftl/pagemap"
+)
+
+// FTL scheme names accepted by Config.FTL. The paper evaluates the first
+// three; the PureMap pair are idealized all-in-SRAM page maps used as upper
+// bounds (see internal/ftl/pagemap).
+const (
+	SchemeDLOOP          = "DLOOP"
+	SchemeDFTL           = "DFTL"
+	SchemeFAST           = "FAST"
+	SchemeBAST           = "BAST"
+	SchemePureMap        = "PureMap"
+	SchemePureMapStriped = "PureMap-striped"
+)
+
+// Schemes lists the three FTLs in the order the paper's figures plot them.
+func Schemes() []string { return []string{SchemeDLOOP, SchemeDFTL, SchemeFAST} }
+
+// Config describes one simulated SSD, in the units Table I uses.
+type Config struct {
+	// CapacityGB is the exported (data) capacity. Table I varies
+	// 4/8/16/32/64 with 8 the default.
+	CapacityGB int
+	// PageSizeKB is the flash page size. Table I varies 2/4/8/16 with 2 the
+	// default.
+	PageSizeKB int
+	// ExtraPct is over-provisioning as a fraction of the data blocks.
+	// Table I varies 0.03/0.05/0.07/0.10 with 0.03 the default.
+	ExtraPct float64
+	// FTL picks the scheme: SchemeDLOOP, SchemeDFTL, or SchemeFAST.
+	FTL string
+
+	// CMTEntries sizes the SRAM mapping cache of DLOOP and DFTL (default
+	// 4096 entries = 32 KB at 8 B/entry).
+	CMTEntries int
+	// GCThreshold is the free-block trigger (the paper's 3).
+	GCThreshold int
+	// DisableCopyBack runs DLOOP's E5 ablation (external GC moves).
+	DisableCopyBack bool
+	// AdaptiveGC runs DLOOP's E7 extension (hot-plane-aware thresholds).
+	AdaptiveGC bool
+	// StripeBy runs DLOOP's E8 ablation: the unit consecutive logical pages
+	// stripe over first ("plane" — the paper's equation (1) and the
+	// default — "die", "chip", or "channel").
+	StripeBy string
+	// LogBlocks overrides FAST's log-buffer size (0 = derive from ExtraPct).
+	LogBlocks int
+	// BufferPages enables the Fig. 1a DRAM buffer manager: up to this many
+	// dirty logical pages are absorbed at DRAM speed and flushed to the FTL
+	// lazily. 0 (the default, used by all experiments) disables it.
+	BufferPages int
+
+	// Geometry, when non-nil, overrides the capacity-derived geometry
+	// entirely (tests use miniature devices).
+	Geometry *flash.Geometry
+	// Timing, when non-nil, overrides Table I's latencies.
+	Timing *flash.Timing
+}
+
+func (c *Config) setDefaults() {
+	if c.CapacityGB == 0 {
+		c.CapacityGB = 8
+	}
+	if c.PageSizeKB == 0 {
+		c.PageSizeKB = 2
+	}
+	if c.ExtraPct == 0 {
+		c.ExtraPct = 0.03
+	}
+	if c.FTL == "" {
+		c.FTL = SchemeDLOOP
+	}
+	if c.CMTEntries == 0 {
+		c.CMTEntries = 4096
+	}
+	if c.GCThreshold == 0 {
+		c.GCThreshold = 3
+	}
+}
+
+// Reference geometry constants (Fig. 1 and Table I, degarbled): 64 pages per
+// block, 2048 data blocks per plane at the 2 KB reference page size, planes
+// paired on dies, dies paired on chips, chips paired in packages, at most 8
+// channels.
+const (
+	refPagesPerBlock  = 64
+	refBlocksPerPlane = 2048
+	refPageKB         = 2
+	refPlanesPerDie   = 2
+	refDiesPerChip    = 2
+	refChipsPerPkg    = 2
+	refMaxChannels    = 8
+)
+
+// planesPerPackage under the reference hierarchy.
+const planesPerPackage = refPlanesPerDie * refDiesPerChip * refChipsPerPkg
+
+// GeometryFor derives a device shape for a data capacity and page size.
+// Plane count is fixed by capacity at the reference page size (one plane =
+// 2048 blocks × 64 pages × 2 KB = 256 MB) so the page-size sweep (Fig. 9)
+// varies page size at constant parallelism; capacity scales by adding
+// packages spread round-robin over up to 8 channels (Fig. 8). Extra blocks
+// are added per plane on top of the data blocks (Fig. 10).
+func GeometryFor(capacityGB, pageSizeKB int, extraPct float64, gcThreshold int) (flash.Geometry, error) {
+	if capacityGB < 1 || pageSizeKB < 1 {
+		return flash.Geometry{}, fmt.Errorf("ssd: bad capacity %d GB / page %d KB", capacityGB, pageSizeKB)
+	}
+	planeMB := refBlocksPerPlane * refPagesPerBlock * refPageKB / 1024 // 256 MB
+	planes := capacityGB * 1024 / planeMB
+	if planes < 1 || capacityGB*1024%planeMB != 0 {
+		return flash.Geometry{}, fmt.Errorf("ssd: capacity %d GB is not a whole number of %d MB planes", capacityGB, planeMB)
+	}
+	if planes%planesPerPackage != 0 {
+		return flash.Geometry{}, fmt.Errorf("ssd: capacity %d GB does not fill whole packages", capacityGB)
+	}
+	packages := planes / planesPerPackage
+	channels := packages
+	if channels > refMaxChannels {
+		channels = refMaxChannels
+	}
+	if packages%channels != 0 {
+		return flash.Geometry{}, fmt.Errorf("ssd: %d packages do not spread evenly over %d channels", packages, channels)
+	}
+	dataBlocks := refBlocksPerPlane * refPageKB / pageSizeKB
+	if dataBlocks < 8 || refBlocksPerPlane*refPageKB%pageSizeKB != 0 {
+		return flash.Geometry{}, fmt.Errorf("ssd: page size %d KB too large for the reference plane", pageSizeKB)
+	}
+	extra := extraBlocksFor(dataBlocks, extraPct, gcThreshold)
+	g := flash.Geometry{
+		Channels:           channels,
+		PackagesPerChannel: packages / channels,
+		ChipsPerPackage:    refChipsPerPkg,
+		DiesPerChip:        refDiesPerChip,
+		PlanesPerDie:       refPlanesPerDie,
+		BlocksPerPlane:     dataBlocks + extra,
+		PagesPerBlock:      refPagesPerBlock,
+		PageSize:           pageSizeKB * 1024,
+	}
+	return g, g.Validate()
+}
+
+// extraBlocksFor converts the paper's extra-block percentage (relative to
+// data blocks) into a per-plane count, keeping at least gcThreshold+1 so
+// collection always has destination room.
+func extraBlocksFor(dataBlocks int, extraPct float64, gcThreshold int) int {
+	extra := int(float64(dataBlocks)*extraPct + 0.999999)
+	if min := gcThreshold + 1; extra < min {
+		extra = min
+	}
+	return extra
+}
+
+// Build constructs the device and FTL described by cfg.
+func Build(cfg Config) (*Controller, error) {
+	cfg.setDefaults()
+	var geo flash.Geometry
+	var extra int
+	if cfg.Geometry != nil {
+		geo = *cfg.Geometry
+		if err := geo.Validate(); err != nil {
+			return nil, err
+		}
+		extra = ftl.ExtraBlocksPerPlane(geo.BlocksPerPlane, cfg.ExtraPct, cfg.GCThreshold)
+	} else {
+		var err error
+		geo, err = GeometryFor(cfg.CapacityGB, cfg.PageSizeKB, cfg.ExtraPct, cfg.GCThreshold)
+		if err != nil {
+			return nil, err
+		}
+		dataBlocks := refBlocksPerPlane * refPageKB / cfg.PageSizeKB
+		extra = geo.BlocksPerPlane - dataBlocks
+	}
+	timing := flash.DefaultTiming()
+	if cfg.Timing != nil {
+		timing = *cfg.Timing
+	}
+	dev, err := flash.NewDevice(geo, timing)
+	if err != nil {
+		return nil, err
+	}
+
+	var f ftl.FTL
+	switch cfg.FTL {
+	case SchemeDLOOP:
+		f, err = dloop.New(dev, dloop.Config{
+			CMTEntries:      cfg.CMTEntries,
+			GCThreshold:     cfg.GCThreshold,
+			ExtraPerPlane:   extra,
+			DisableCopyBack: cfg.DisableCopyBack,
+			AdaptiveGC:      cfg.AdaptiveGC,
+			StripeBy:        dloop.Striping(cfg.StripeBy),
+		})
+	case SchemeDFTL:
+		f, err = dftl.New(dev, dftl.Config{
+			CMTEntries:    cfg.CMTEntries,
+			GCThreshold:   cfg.GCThreshold,
+			ExtraPerPlane: extra,
+		})
+	case SchemeFAST:
+		f, err = fast.New(dev, fast.Config{
+			ExtraPerPlane: extra,
+			LogBlocks:     cfg.LogBlocks,
+		})
+	case SchemeBAST:
+		f, err = bast.New(dev, bast.Config{
+			ExtraPerPlane: extra,
+			LogBlocks:     cfg.LogBlocks,
+		})
+	case SchemePureMap, SchemePureMapStriped:
+		f, err = pagemap.New(dev, pagemap.Config{
+			GCThreshold:   cfg.GCThreshold,
+			ExtraPerPlane: extra,
+			Striped:       cfg.FTL == SchemePureMapStriped,
+		})
+	default:
+		err = fmt.Errorf("ssd: unknown FTL %q (want %v)", cfg.FTL, Schemes())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newController(dev, f, cfg), nil
+}
+
+// ScaledGeometryFor shrinks GeometryFor's result by scale for quick runs:
+// data blocks per plane scale down while the plane count, channel layout,
+// and pages per block stay, so capacity ratios, parallelism, and relative
+// utilization are preserved. scale must be in (0, 1].
+func ScaledGeometryFor(capacityGB, pageSizeKB int, extraPct float64, gcThreshold int, scale float64) (flash.Geometry, error) {
+	g, err := GeometryFor(capacityGB, pageSizeKB, extraPct, gcThreshold)
+	if err != nil {
+		return flash.Geometry{}, err
+	}
+	if scale <= 0 || scale > 1 {
+		return flash.Geometry{}, fmt.Errorf("ssd: scale %v out of (0,1]", scale)
+	}
+	if scale == 1 {
+		return g, nil
+	}
+	dataBlocks := refBlocksPerPlane * refPageKB / pageSizeKB
+	scaled := int(float64(dataBlocks) * scale)
+	if scaled < 16 {
+		scaled = 16
+	}
+	extra := extraBlocksFor(scaled, extraPct, gcThreshold)
+	g.BlocksPerPlane = scaled + extra
+	return g, g.Validate()
+}
+
+// ExportedBytes computes the data capacity a Config will export, without
+// building the device. Experiments use it to skip workloads whose footprint
+// does not fit a configuration.
+func ExportedBytes(cfg Config) (int64, error) {
+	cfg.setDefaults()
+	var geo flash.Geometry
+	var extra int
+	if cfg.Geometry != nil {
+		geo = *cfg.Geometry
+		if err := geo.Validate(); err != nil {
+			return 0, err
+		}
+		extra = ftl.ExtraBlocksPerPlane(geo.BlocksPerPlane, cfg.ExtraPct, cfg.GCThreshold)
+	} else {
+		var err error
+		geo, err = GeometryFor(cfg.CapacityGB, cfg.PageSizeKB, cfg.ExtraPct, cfg.GCThreshold)
+		if err != nil {
+			return 0, err
+		}
+		extra = geo.BlocksPerPlane - refBlocksPerPlane*refPageKB/cfg.PageSizeKB
+	}
+	return int64(ftl.ExportedPages(geo, extra)) * int64(geo.PageSize), nil
+}
+
+// Recover simulates a power loss: it builds a fresh controller over c's
+// device with all SRAM state (mapping table, GTD, CMT, pools, write points)
+// rebuilt from the out-of-band page tags, the way a real controller comes
+// back up. Supported for the page-mapping schemes (DLOOP, DFTL); FAST-style
+// hybrids store extra block metadata this model does not capture.
+func (c *Controller) Recover() (*Controller, error) {
+	cfg := c.cfg
+	cfg.setDefaults()
+	var extra int
+	if cfg.Geometry != nil {
+		extra = ftl.ExtraBlocksPerPlane(cfg.Geometry.BlocksPerPlane, cfg.ExtraPct, cfg.GCThreshold)
+	} else {
+		extra = c.dev.Geometry().BlocksPerPlane - refBlocksPerPlane*refPageKB/cfg.PageSizeKB
+	}
+	var f ftl.FTL
+	var err error
+	switch cfg.FTL {
+	case SchemeDLOOP:
+		f, err = dloop.NewRecovered(c.dev, dloop.Config{
+			CMTEntries:      cfg.CMTEntries,
+			GCThreshold:     cfg.GCThreshold,
+			ExtraPerPlane:   extra,
+			DisableCopyBack: cfg.DisableCopyBack,
+			AdaptiveGC:      cfg.AdaptiveGC,
+			StripeBy:        dloop.Striping(cfg.StripeBy),
+		})
+	case SchemeDFTL:
+		f, err = dftl.NewRecovered(c.dev, dftl.Config{
+			CMTEntries:    cfg.CMTEntries,
+			GCThreshold:   cfg.GCThreshold,
+			ExtraPerPlane: extra,
+		})
+	default:
+		err = fmt.Errorf("ssd: recovery not supported for %s (hybrid FTLs need block metadata beyond OOB page tags)", cfg.FTL)
+	}
+	if err != nil {
+		return nil, err
+	}
+	nc := newController(c.dev, f, cfg)
+	nc.ResetMeasurement()
+	return nc, nil
+}

@@ -1,0 +1,324 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/ftl/bast"
+	"dloop/internal/ftl/dftl"
+	"dloop/internal/ftl/dloop"
+	"dloop/internal/ftl/fast"
+	"dloop/internal/ftl/pagemap"
+	"dloop/internal/sim"
+	"dloop/internal/stats"
+	"dloop/internal/trace"
+)
+
+// Controller is the host-facing side of the simulated SSD. It aligns every
+// request on page boundaries, splits it into one-page operations dispatched
+// together (so striped placements can serve them on several planes at once),
+// and measures response times from arrival to the completion of the last
+// page. Not safe for concurrent use.
+type Controller struct {
+	dev *flash.Device
+	f   ftl.FTL
+	cfg Config
+
+	sectorsPerPage int64
+
+	resp      stats.Welford // milliseconds
+	readResp  stats.Welford
+	writeResp stats.Welford
+	hist      stats.LatencyHist
+	series    *stats.TimeSeries // optional, see EnableTimeSeries
+	buffer    *writeBuffer      // optional, see Config.BufferPages
+	lastDone  sim.Time
+	served    int64
+	pagesRead int64
+	pagesWrit int64
+}
+
+func newController(dev *flash.Device, f ftl.FTL, cfg Config) *Controller {
+	c := &Controller{
+		dev:            dev,
+		f:              f,
+		cfg:            cfg,
+		sectorsPerPage: int64(dev.Geometry().PageSize / trace.SectorSize),
+	}
+	if cfg.BufferPages > 0 {
+		c.buffer = newWriteBuffer(cfg.BufferPages)
+	}
+	return c
+}
+
+// EnableTimeSeries records per-request response times bucketed by arrival
+// time, exposing latency evolution (GC stalls show as spikes). Call before
+// Run; retrieve with TimeSeries.
+func (c *Controller) EnableTimeSeries(bucket sim.Duration) error {
+	ts, err := stats.NewTimeSeries(bucket)
+	if err != nil {
+		return err
+	}
+	c.series = ts
+	return nil
+}
+
+// TimeSeries returns the response-time series, or nil if not enabled.
+func (c *Controller) TimeSeries() *stats.TimeSeries { return c.series }
+
+// Device exposes the underlying flash device (read-only use intended).
+func (c *Controller) Device() *flash.Device { return c.dev }
+
+// FTL exposes the flash translation layer in use.
+func (c *Controller) FTL() ftl.FTL { return c.f }
+
+// Config returns the configuration the controller was built with.
+func (c *Controller) Config() Config { return c.cfg }
+
+// pageSpan returns the logical pages touched by a sector range.
+func (c *Controller) pageSpan(r trace.Request) (first, last ftl.LPN) {
+	first = ftl.LPN(r.LBN / c.sectorsPerPage)
+	last = ftl.LPN((r.End() - 1) / c.sectorsPerPage)
+	return first, last
+}
+
+// Precondition sequentially writes the first `pages` logical pages once,
+// putting the device into the steady state a deployed SSD reaches after its
+// working set has been populated: the workload's footprint is live on flash
+// and its mappings are persisted, so updates invalidate pages and garbage
+// collection runs from the first measured request. Device utilization is
+// footprint/capacity — which is why larger SSDs delay collection, the
+// capacity trend of Fig. 8. All statistics and resource timelines are then
+// reset.
+func (c *Controller) Precondition(pages ftl.LPN) error {
+	if pages > c.f.Capacity() {
+		return fmt.Errorf("ssd: precondition %d pages exceeds capacity %d", pages, c.f.Capacity())
+	}
+	var t sim.Time
+	for lpn := ftl.LPN(0); lpn < pages; lpn++ {
+		end, err := c.f.WritePage(lpn, t)
+		if err != nil {
+			return fmt.Errorf("ssd: precondition lpn %d: %w", lpn, err)
+		}
+		t = end
+	}
+	c.ResetMeasurement()
+	return nil
+}
+
+// PreconditionBytes preconditions enough pages to cover a byte footprint.
+func (c *Controller) PreconditionBytes(bytes int64) error {
+	pageSize := int64(c.dev.Geometry().PageSize)
+	return c.Precondition(ftl.LPN((bytes + pageSize - 1) / pageSize))
+}
+
+// ResetMeasurement zeroes every statistic and resource timeline while
+// keeping device and FTL state, so measurement starts from now.
+func (c *Controller) ResetMeasurement() {
+	c.dev.ResetStats()
+	c.resp = stats.Welford{}
+	c.readResp = stats.Welford{}
+	c.writeResp = stats.Welford{}
+	c.hist = stats.LatencyHist{}
+	if c.series != nil {
+		ts, _ := stats.NewTimeSeries(c.series.BucketWidth())
+		c.series = ts
+	}
+	c.lastDone = 0
+	c.served = 0
+	c.pagesRead = 0
+	c.pagesWrit = 0
+}
+
+// Serve executes one host request, returning its response time.
+func (c *Controller) Serve(r trace.Request) (sim.Duration, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	first, last := c.pageSpan(r)
+	if err := ftl.CheckLPN(last, c.f.Capacity()); err != nil {
+		return 0, fmt.Errorf("ssd: request [%d,%d) exceeds device: %w", r.LBN, r.End(), err)
+	}
+	done := r.Arrival
+	for lpn := first; lpn <= last; lpn++ {
+		var end sim.Time
+		var err error
+		switch {
+		case r.Op == trace.OpRead && c.buffer != nil && c.buffer.readHit(lpn):
+			end = r.Arrival.Add(c.buffer.dramLat)
+			c.pagesRead++
+		case r.Op == trace.OpRead:
+			end, err = c.f.ReadPage(lpn, r.Arrival)
+			c.pagesRead++
+		case c.buffer != nil:
+			end, err = c.buffer.put(c.f, lpn, r.Arrival)
+			c.pagesWrit++
+		default:
+			end, err = c.f.WritePage(lpn, r.Arrival)
+			c.pagesWrit++
+		}
+		if err != nil {
+			return 0, err
+		}
+		if end > done {
+			done = end
+		}
+	}
+	rt := done.Sub(r.Arrival)
+	ms := rt.Milliseconds()
+	c.resp.Add(ms)
+	if r.Op == trace.OpRead {
+		c.readResp.Add(ms)
+	} else {
+		c.writeResp.Add(ms)
+	}
+	c.hist.Add(rt)
+	if c.series != nil {
+		c.series.Add(r.Arrival, ms)
+	}
+	if done > c.lastDone {
+		c.lastDone = done
+	}
+	c.served++
+	return rt, nil
+}
+
+// Drain flushes every dirty buffered page through the FTL (a clean
+// shutdown). No-op without a buffer.
+func (c *Controller) Drain(at sim.Time) (sim.Time, error) {
+	if c.buffer == nil {
+		return at, nil
+	}
+	return c.buffer.flushAll(c.f, at)
+}
+
+// BufferStats reports the DRAM buffer's dirty page count, write hits, read
+// hits, and background flushes (zeros without a buffer).
+func (c *Controller) BufferStats() (dirty int, hitsW, hitsR, flushes int64) {
+	if c.buffer == nil {
+		return 0, 0, 0, 0
+	}
+	return c.buffer.Len(), c.buffer.hitsW, c.buffer.hitsR, c.buffer.flushes
+}
+
+// Run replays every request from the reader and returns the results.
+func (c *Controller) Run(r trace.Reader) (Result, error) {
+	for {
+		req, err := r.Next()
+		if err != nil {
+			if isEOF(err) {
+				break
+			}
+			return Result{}, err
+		}
+		if _, err := c.Serve(req); err != nil {
+			return Result{}, err
+		}
+	}
+	return c.Result(), nil
+}
+
+func isEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+// Result summarizes a measurement window.
+type Result struct {
+	FTL        string
+	Requests   int64
+	PagesRead  int64
+	PagesWrit  int64
+	SimulatedS float64 // simulated seconds until the last completion
+
+	MeanRespMs  float64 // the paper's headline metric
+	StdRespMs   float64
+	MaxRespMs   float64
+	ReadMeanMs  float64
+	WriteMeanMs float64
+	P50Ms       float64
+	P99Ms       float64
+
+	SDRPP       float64 // ln of the stddev of per-plane operation counts
+	PlaneOps    []int64
+	WearCV      float64 // coefficient of variation of per-block erase counts
+	TotalErases int64
+
+	// Flash traffic.
+	Reads, Writes, CopyBacks, Erases int64
+	GCCopyBacks, GCExternalMoves     int64
+	WastedPages                      int64
+
+	// FTL-specific accounting (zero where not applicable).
+	CMTHitRate    float64
+	TransReads    int64
+	TransWrites   int64
+	GCRuns        int64
+	SwitchMerges  int64
+	PartialMerges int64
+	FullMerges    int64
+	MergeCopies   int64
+}
+
+// Result snapshots the current measurement window.
+func (c *Controller) Result() Result {
+	ds := c.dev.Stats()
+	res := Result{
+		FTL:         c.f.Name(),
+		Requests:    c.served,
+		PagesRead:   c.pagesRead,
+		PagesWrit:   c.pagesWrit,
+		SimulatedS:  sim.Duration(c.lastDone).Seconds(),
+		MeanRespMs:  c.resp.Mean(),
+		StdRespMs:   c.resp.StdDev(),
+		MaxRespMs:   c.resp.Max(),
+		ReadMeanMs:  c.readResp.Mean(),
+		WriteMeanMs: c.writeResp.Mean(),
+		P50Ms:       c.hist.Quantile(0.5).Milliseconds(),
+		P99Ms:       c.hist.Quantile(0.99).Milliseconds(),
+		PlaneOps:    ds.PlaneTotals(),
+		Reads:       ds.Reads(),
+		Writes:      ds.Writes(),
+		CopyBacks:   ds.CopyBacks(),
+		Erases:      ds.Erases(),
+		WastedPages: ds.WastedPages,
+	}
+	res.SDRPP = stats.SDRPP(res.PlaneOps)
+	res.GCCopyBacks, res.GCExternalMoves = ds.GCMoves()
+	erases := make([]int64, len(ds.BlockErases))
+	for i, e := range ds.BlockErases {
+		erases[i] = int64(e)
+		res.TotalErases += int64(e)
+	}
+	res.WearCV = stats.CV(erases)
+
+	switch f := c.f.(type) {
+	case *dloop.DLOOP:
+		s := f.Stats()
+		res.GCRuns = s.GCRuns
+		res.TransReads = s.MapperStats.TransReads
+		res.TransWrites = s.MapperStats.TransWrites
+		res.CMTHitRate, _, _ = f.CMTHitRate()
+	case *dftl.DFTL:
+		s := f.Stats()
+		res.GCRuns = s.GCRuns
+		res.TransReads = s.MapperStats.TransReads
+		res.TransWrites = s.MapperStats.TransWrites
+		res.CMTHitRate, _, _ = f.CMTHitRate()
+	case *fast.FAST:
+		s := f.Stats()
+		res.SwitchMerges = s.SwitchMerges
+		res.PartialMerges = s.PartialMerges
+		res.FullMerges = s.FullMerges
+		res.MergeCopies = s.MergeCopies
+	case *bast.BAST:
+		s := f.Stats()
+		res.SwitchMerges = s.SwitchMerges
+		res.FullMerges = s.FullMerges
+		res.MergeCopies = s.MergeCopies
+	case *pagemap.PureMap:
+		s := f.Stats()
+		res.GCRuns = s.GCRuns
+	}
+	return res
+}

@@ -1,0 +1,215 @@
+package ssd
+
+import (
+	"testing"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/ftl/dftl"
+	"dloop/internal/ftl/dloop"
+	"dloop/internal/ftl/fast"
+	"dloop/internal/sim"
+	"dloop/internal/trace"
+)
+
+// lookupAny resolves an lpn through whichever FTL the controller carries.
+func lookupAny(t *testing.T, c *Controller, lpn ftl.LPN) flash.PPN {
+	t.Helper()
+	switch f := c.FTL().(type) {
+	case *dloop.DLOOP:
+		return f.Lookup(lpn)
+	case *dftl.DFTL:
+		return f.Lookup(lpn)
+	case *fast.FAST:
+		return f.Lookup(lpn)
+	}
+	t.Fatal("unknown FTL type")
+	return flash.InvalidPPN
+}
+
+// TestCrossFTLLogicalEquivalence replays one request stream through all
+// three FTLs and asserts they expose the same logical state: exactly the
+// same set of mapped LPNs, each stored valid under its own tag. Placement
+// differs wildly between schemes; the logical contract must not.
+func TestCrossFTLLogicalEquivalence(t *testing.T) {
+	var mapped []map[ftl.LPN]bool
+	for _, scheme := range Schemes() {
+		c := buildTiny(t, scheme)
+		preconditionTiny(t, c)
+		reqs := tinyWorkload(t, c, 3000, 11)
+		if _, err := c.Run(trace.NewSliceReader(reqs)); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		m := make(map[ftl.LPN]bool)
+		for lpn := ftl.LPN(0); lpn < c.FTL().Capacity(); lpn++ {
+			ppn := lookupAny(t, c, lpn)
+			if ppn == flash.InvalidPPN {
+				continue
+			}
+			m[lpn] = true
+			if got := c.Device().PageLPN(ppn); got != int64(lpn) {
+				t.Fatalf("%s: lpn %d stored under tag %d", scheme, lpn, got)
+			}
+		}
+		mapped = append(mapped, m)
+	}
+	for i := 1; i < len(mapped); i++ {
+		if len(mapped[i]) != len(mapped[0]) {
+			t.Fatalf("scheme %d maps %d lpns, scheme 0 maps %d",
+				i, len(mapped[i]), len(mapped[0]))
+		}
+		for lpn := range mapped[0] {
+			if !mapped[i][lpn] {
+				t.Fatalf("scheme %d lost lpn %d", i, lpn)
+			}
+		}
+	}
+}
+
+// TestPageSizesEndToEnd runs every supported page size through each FTL on
+// a miniature device, checking the pipeline survives non-default pages and
+// that bigger pages mean fewer flash programs for the same byte volume.
+func TestPageSizesEndToEnd(t *testing.T) {
+	writesByPage := map[int]int64{}
+	for _, pageKB := range []int{2, 4, 8, 16} {
+		geo := tinyGeometry()
+		geo.PageSize = pageKB * 1024
+		geo.BlocksPerPlane = 24 * 2 / pageKB * 2 // keep capacity roughly level
+		if geo.BlocksPerPlane < 8 {
+			geo.BlocksPerPlane = 8
+		}
+		cfg := Config{FTL: SchemeDLOOP, Geometry: &geo, ExtraPct: 0.25, CMTEntries: 64}
+		c, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("%dKB: %v", pageKB, err)
+		}
+		capBytes := int64(c.FTL().Capacity()) * int64(geo.PageSize)
+		if err := c.PreconditionBytes(capBytes / 2); err != nil {
+			t.Fatalf("%dKB: %v", pageKB, err)
+		}
+		// Fixed byte volume of writes.
+		var at int64
+		for i := 0; i < 200; i++ {
+			req := trace.Request{
+				Arrival: 0,
+				LBN:     (int64(i) * 64) % (capBytes / 2 / trace.SectorSize / 64 * 64),
+				Sectors: 64, // 32 KB
+				Op:      trace.OpWrite,
+			}
+			if _, err := c.Serve(req); err != nil {
+				t.Fatalf("%dKB: %v", pageKB, err)
+			}
+			at++
+		}
+		res := c.Result()
+		writesByPage[pageKB] = res.PagesWrit
+		if res.MeanRespMs <= 0 {
+			t.Fatalf("%dKB: zero response time", pageKB)
+		}
+	}
+	if !(writesByPage[2] > writesByPage[4] && writesByPage[4] > writesByPage[8] && writesByPage[8] > writesByPage[16]) {
+		t.Fatalf("page ops should fall with page size: %v", writesByPage)
+	}
+}
+
+// TestSubPageRequests covers requests smaller than a page and requests that
+// straddle page boundaries.
+func TestSubPageRequests(t *testing.T) {
+	c := buildTiny(t, SchemeDLOOP)
+	preconditionTiny(t, c)
+	// 1 sector write: pads to one page.
+	if _, err := c.Serve(trace.Request{Arrival: 0, LBN: 5, Sectors: 1, Op: trace.OpWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Result().PagesWrit; got != 1 {
+		t.Fatalf("1-sector write programmed %d pages, want 1", got)
+	}
+	// 4 sectors straddling a page boundary (page = 4 sectors at 2 KB).
+	before := c.Result().PagesWrit
+	if _, err := c.Serve(trace.Request{Arrival: 0, LBN: 2, Sectors: 4, Op: trace.OpWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Result().PagesWrit - before; got != 2 {
+		t.Fatalf("straddling write programmed %d pages, want 2", got)
+	}
+}
+
+// TestRunStopsOnReaderError verifies error propagation from trace readers.
+func TestRunStopsOnReaderError(t *testing.T) {
+	c := buildTiny(t, SchemeDLOOP)
+	if _, err := c.Run(failingReader{}); err == nil {
+		t.Fatal("reader error swallowed")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Next() (trace.Request, error) {
+	return trace.Request{}, errBoom
+}
+
+var errBoom = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestTimeSeriesRecording(t *testing.T) {
+	c := buildTiny(t, SchemeDLOOP)
+	if err := c.EnableTimeSeries(1 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnableTimeSeries(0); err == nil {
+		t.Fatal("zero bucket accepted")
+	}
+	preconditionTiny(t, c)
+	if c.TimeSeries().Buckets() != 0 {
+		t.Fatal("precondition leaked into the series")
+	}
+	reqs := tinyWorkload(t, c, 500, 4)
+	if _, err := c.Run(trace.NewSliceReader(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	ts := c.TimeSeries()
+	if ts == nil || ts.Buckets() == 0 {
+		t.Fatal("series empty after run")
+	}
+	var n int64
+	for i := 0; i < ts.Buckets(); i++ {
+		b := ts.Bucket(i)
+		n += b.N()
+	}
+	if n != 500 {
+		t.Fatalf("series recorded %d samples, want 500", n)
+	}
+}
+
+// TestControllerRecovery crashes a controller mid-run and checks the
+// recovered one exposes identical mappings and keeps serving.
+func TestControllerRecovery(t *testing.T) {
+	for _, scheme := range []string{SchemeDLOOP, SchemeDFTL} {
+		c := buildTiny(t, scheme)
+		preconditionTiny(t, c)
+		if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 2000, 5))); err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Recover()
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		for lpn := ftl.LPN(0); lpn < c.FTL().Capacity(); lpn++ {
+			if got, want := lookupAny(t, r, lpn), lookupAny(t, c, lpn); got != want {
+				t.Fatalf("%s: lpn %d recovered %d want %d", scheme, lpn, got, want)
+			}
+		}
+		if _, err := r.Run(trace.NewSliceReader(tinyWorkload(t, r, 1000, 6))); err != nil {
+			t.Fatalf("%s post-recovery: %v", scheme, err)
+		}
+		checkMappingConsistency(t, r)
+	}
+	// FAST declines gracefully.
+	c := buildTiny(t, SchemeFAST)
+	if _, err := c.Recover(); err == nil {
+		t.Fatal("FAST recovery should be unsupported")
+	}
+}

@@ -1,0 +1,216 @@
+// Package stats provides the metrics the paper reports: streaming mean and
+// standard deviation of response times (Welford), latency histograms, the
+// SDRPP metric (standard deviation of per-plane request counts, plotted in
+// natural log), and wear-leveling dispersion.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dloop/internal/sim"
+)
+
+// Welford accumulates a streaming mean and variance without storing samples.
+type Welford struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance, or 0 with fewer than two samples.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Merge folds another accumulator into w (parallel Welford combination).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
+// LatencyHist is a logarithmic latency histogram with approximate quantiles.
+// Buckets grow by ~26% per step (32 buckets per decade), bounding quantile
+// error well under the variation the experiments care about.
+type LatencyHist struct {
+	counts []int64
+	total  int64
+}
+
+const (
+	histBucketsPerDecade = 32
+	histMaxBuckets       = 32 * 12 // 1 ns .. 1000 s
+)
+
+func histBucket(d sim.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := int(math.Log10(float64(d)) * histBucketsPerDecade)
+	if b < 0 {
+		b = 0
+	}
+	if b >= histMaxBuckets {
+		b = histMaxBuckets - 1
+	}
+	return b
+}
+
+func histLower(b int) sim.Duration {
+	return sim.Duration(math.Pow(10, float64(b)/histBucketsPerDecade))
+}
+
+// Add records one latency sample.
+func (h *LatencyHist) Add(d sim.Duration) {
+	if h.counts == nil {
+		h.counts = make([]int64, histMaxBuckets)
+	}
+	h.counts[histBucket(d)]++
+	h.total++
+}
+
+// N returns the number of recorded samples.
+func (h *LatencyHist) N() int64 { return h.total }
+
+// Quantile returns an approximation of the q-quantile (0 < q <= 1), or 0
+// with no samples.
+func (h *LatencyHist) Quantile(q float64) sim.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return histLower(b)
+		}
+	}
+	return histLower(histMaxBuckets - 1)
+}
+
+// StdDevInt64 returns the population standard deviation of an integer
+// series. SDRPP is this over per-plane request counts.
+func StdDevInt64(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += float64(x)
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// SDRPP computes the paper's "Std. Dev. of Requests per Plane" metric over
+// per-plane counts, returned in natural log as the figures plot it ("plotted
+// on log scale (base e) because the values are huge"). Zero or tiny standard
+// deviations clamp to 0 rather than going to -inf.
+func SDRPP(perPlane []int64) float64 {
+	sd := StdDevInt64(perPlane)
+	if sd < 1 {
+		return 0
+	}
+	return math.Log(sd)
+}
+
+// CV returns the coefficient of variation (stddev/mean) of an integer
+// series, used for wear-leveling dispersion of per-block erase counts.
+func CV(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += float64(x)
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	return StdDevInt64(xs) / mean
+}
+
+// Describe formats a five-number summary of an integer series for reports.
+func Describe(xs []int64) string {
+	if len(xs) == 0 {
+		return "n=0"
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	q := func(p float64) int64 { return s[int(p*float64(len(s)-1))] }
+	return fmt.Sprintf("n=%d min=%d p25=%d med=%d p75=%d max=%d sd=%.1f",
+		len(s), s[0], q(0.25), q(0.5), q(0.75), s[len(s)-1], StdDevInt64(s))
+}

@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dloop/internal/sim"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if got := w.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := w.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2 (population)", got)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.StdDev() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Var() != 0 || w.Min() != 3 || w.Max() != 3 {
+		t.Error("single sample")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var all, a, b Welford
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.StdDev()-all.StdDev()) > 1e-9 {
+		t.Errorf("merged sd %v vs %v", a.StdDev(), all.StdDev())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Error("merged min/max")
+	}
+	// Merging into empty copies.
+	var empty Welford
+	empty.Merge(a)
+	if empty.N() != a.N() || empty.Mean() != a.Mean() {
+		t.Error("merge into empty")
+	}
+	// Merging empty is a no-op.
+	before := a
+	a.Merge(Welford{})
+	if a != before {
+		t.Error("merge of empty changed state")
+	}
+}
+
+// Property: Welford mean/stddev agree with the naive two-pass computation.
+func TestWelfordMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range clean {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		sd := math.Sqrt(ss / float64(len(clean)))
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(w.Mean()-mean)/scale < 1e-8 &&
+			math.Abs(w.StdDev()-sd)/math.Max(1, sd) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	for i := 1; i <= 1000; i++ {
+		h.Add(sim.Duration(i) * sim.Microsecond)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	med := h.Quantile(0.5).Microseconds()
+	if med < 350 || med > 650 {
+		t.Errorf("median %v µs, want ≈500 within bucket error", med)
+	}
+	p99 := h.Quantile(0.99).Microseconds()
+	if p99 < 800 || p99 > 1100 {
+		t.Errorf("p99 %v µs, want ≈990", p99)
+	}
+	if h.Quantile(0.5) > h.Quantile(0.999) {
+		t.Error("quantiles must be monotone")
+	}
+}
+
+func TestLatencyHistEdgeCases(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty hist quantile should be 0")
+	}
+	h.Add(0)
+	h.Add(-5)
+	if h.N() != 2 {
+		t.Error("zero/negative samples should still count")
+	}
+	var big LatencyHist
+	big.Add(sim.Duration(math.MaxInt64))
+	if big.Quantile(1.0) <= 0 {
+		t.Error("huge sample should clamp to last bucket")
+	}
+}
+
+func TestStdDevInt64(t *testing.T) {
+	if got := StdDevInt64(nil); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := StdDevInt64([]int64{5, 5, 5}); got != 0 {
+		t.Errorf("constant: %v", got)
+	}
+	got := StdDevInt64([]int64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("got %v, want 2", got)
+	}
+}
+
+func TestSDRPP(t *testing.T) {
+	if got := SDRPP([]int64{10, 10, 10}); got != 0 {
+		t.Errorf("perfectly even: %v, want 0", got)
+	}
+	uneven := SDRPP([]int64{1000000, 0, 0, 0})
+	even := SDRPP([]int64{250000, 250001, 249999, 250000})
+	if uneven <= even {
+		t.Errorf("uneven %.2f should exceed even %.2f", uneven, even)
+	}
+	// ln of the stddev: stddev of {1000000,0,0,0} is 433012.7
+	if math.Abs(uneven-math.Log(433012.70189)) > 1e-3 {
+		t.Errorf("uneven = %v", uneven)
+	}
+}
+
+func TestCV(t *testing.T) {
+	if CV(nil) != 0 || CV([]int64{0, 0}) != 0 {
+		t.Error("degenerate CV should be 0")
+	}
+	got := CV([]int64{8, 12})
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("CV = %v, want 0.2", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := Describe(nil); got != "n=0" {
+		t.Errorf("empty Describe: %q", got)
+	}
+	s := Describe([]int64{3, 1, 2})
+	for _, want := range []string{"n=3", "min=1", "max=3", "med=2"} {
+		if !containsStr(s, want) {
+			t.Errorf("Describe %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTimeSeries(t *testing.T) {
+	if _, err := NewTimeSeries(0); err == nil {
+		t.Fatal("zero bucket accepted")
+	}
+	ts, err := NewTimeSeries(1 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Add(sim.Time(100*sim.Millisecond), 1)
+	ts.Add(sim.Time(900*sim.Millisecond), 3)
+	ts.Add(sim.Time(2500*sim.Millisecond), 10)
+	ts.Add(-5, 2) // clamps to bucket 0
+	if ts.Buckets() != 3 {
+		t.Fatalf("Buckets = %d, want 3", ts.Buckets())
+	}
+	b0 := ts.Bucket(0)
+	if b0.N() != 3 || b0.Mean() != 2 {
+		t.Fatalf("bucket 0: n=%d mean=%v", b0.N(), b0.Mean())
+	}
+	if b := ts.Bucket(1); b.N() != 0 {
+		t.Fatal("bucket 1 should be empty")
+	}
+	if b := ts.Bucket(99); b.N() != 0 {
+		t.Fatal("out-of-range bucket should be empty")
+	}
+	if b := ts.Bucket(-1); b.N() != 0 {
+		t.Fatal("negative bucket should be empty")
+	}
+	if got := ts.Peak(); got != 2 {
+		t.Fatalf("Peak = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := ts.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean=") {
+		t.Fatalf("Render output: %q", buf.String())
+	}
+}

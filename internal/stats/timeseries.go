@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+
+	"dloop/internal/sim"
+)
+
+// TimeSeries buckets samples by simulated time, giving the evolution of a
+// metric over a run — e.g. mean response time per second, which makes GC
+// stalls visible as spikes instead of disappearing into a global mean.
+type TimeSeries struct {
+	bucket  sim.Duration
+	buckets []Welford
+}
+
+// NewTimeSeries returns a series with the given bucket width.
+func NewTimeSeries(bucket sim.Duration) (*TimeSeries, error) {
+	if bucket <= 0 {
+		return nil, fmt.Errorf("stats: bucket width must be positive, got %v", bucket)
+	}
+	return &TimeSeries{bucket: bucket}, nil
+}
+
+// Add records a sample observed at simulated time at.
+func (ts *TimeSeries) Add(at sim.Time, value float64) {
+	if at < 0 {
+		at = 0
+	}
+	idx := int(int64(at) / int64(ts.bucket))
+	for len(ts.buckets) <= idx {
+		ts.buckets = append(ts.buckets, Welford{})
+	}
+	ts.buckets[idx].Add(value)
+}
+
+// Buckets returns the number of buckets spanned so far.
+func (ts *TimeSeries) Buckets() int { return len(ts.buckets) }
+
+// Bucket returns the accumulator for one bucket index.
+func (ts *TimeSeries) Bucket(i int) Welford {
+	if i < 0 || i >= len(ts.buckets) {
+		return Welford{}
+	}
+	return ts.buckets[i]
+}
+
+// BucketWidth returns the configured bucket width.
+func (ts *TimeSeries) BucketWidth() sim.Duration { return ts.bucket }
+
+// Render writes "start_seconds n mean max" rows for every non-empty bucket.
+func (ts *TimeSeries) Render(w io.Writer) error {
+	for i, b := range ts.buckets {
+		if b.N() == 0 {
+			continue
+		}
+		start := sim.Duration(int64(ts.bucket) * int64(i)).Seconds()
+		if _, err := fmt.Fprintf(w, "%10.1fs  n=%-7d mean=%10.3f  max=%10.3f\n",
+			start, b.N(), b.Mean(), b.Max()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Peak returns the bucket index with the highest mean, or -1 if empty.
+func (ts *TimeSeries) Peak() int {
+	best, idx := -1.0, -1
+	for i, b := range ts.buckets {
+		if b.N() > 0 && b.Mean() > best {
+			best, idx = b.Mean(), i
+		}
+	}
+	return idx
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"dloop/internal/sim"
+)
+
+var errEOF = io.EOF
+
+func isEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+// DiskSim ASCII trace format, one request per line:
+//
+//	<arrival-ms> <devno> <blkno> <size-sectors> <flags>
+//
+// where bit 0 of flags set means read (DiskSim convention). Blank lines and
+// lines starting with '#' are skipped.
+
+// DiskSimReader parses the DiskSim ASCII trace format.
+type DiskSimReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewDiskSimReader returns a Reader over a DiskSim ASCII stream.
+func NewDiskSimReader(r io.Reader) *DiskSimReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &DiskSimReader{s: s}
+}
+
+// Next implements Reader.
+func (r *DiskSimReader) Next() (Request, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := parseDiskSimLine(line)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: disksim line %d: %w", r.line, err)
+		}
+		return req, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+func parseDiskSimLine(line string) (Request, error) {
+	f := strings.Fields(line)
+	if len(f) != 5 {
+		return Request{}, fmt.Errorf("want 5 fields, got %d", len(f))
+	}
+	ms, err := strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("arrival %q: %v", f[0], err)
+	}
+	lbn, err := strconv.ParseInt(f[2], 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("blkno %q: %v", f[2], err)
+	}
+	size, err := strconv.Atoi(f[3])
+	if err != nil {
+		return Request{}, fmt.Errorf("size %q: %v", f[3], err)
+	}
+	flags, err := strconv.ParseInt(strings.TrimPrefix(f[4], "0x"), 0, 64)
+	if err != nil {
+		// DiskSim traces sometimes carry bare hex without 0x.
+		flags, err = strconv.ParseInt(f[4], 16, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("flags %q: %v", f[4], err)
+		}
+	}
+	op := OpWrite
+	if flags&1 != 0 {
+		op = OpRead
+	}
+	req := Request{
+		Arrival: sim.Time(0).Add(sim.Duration(math.Round(ms * float64(sim.Millisecond)))),
+		LBN:     lbn,
+		Sectors: size,
+		Op:      op,
+	}
+	return req, req.Validate()
+}
+
+// WriteDiskSim writes requests in the DiskSim ASCII format.
+func WriteDiskSim(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		flags := 0
+		if r.Op == OpRead {
+			flags = 1
+		}
+		ms := sim.Duration(r.Arrival).Milliseconds()
+		if _, err := fmt.Fprintf(bw, "%.6f 0 %d %d %d\n", ms, r.LBN, r.Sectors, flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

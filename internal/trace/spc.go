@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"dloop/internal/sim"
+)
+
+// SPC-1 I/O trace format (the format of the UMass Financial1/Financial2
+// traces the paper uses), one request per line:
+//
+//	ASU,LBA,Size,Opcode,Timestamp
+//
+// LBA in sectors, Size in bytes, Opcode 'r'/'R' or 'w'/'W', Timestamp in
+// seconds from trace start.
+
+// SPCReader parses the SPC-1 CSV trace format.
+type SPCReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewSPCReader returns a Reader over an SPC-1 CSV stream.
+func NewSPCReader(r io.Reader) *SPCReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &SPCReader{s: s}
+}
+
+// Next implements Reader.
+func (r *SPCReader) Next() (Request, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := parseSPCLine(line)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: spc line %d: %w", r.line, err)
+		}
+		return req, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+func parseSPCLine(line string) (Request, error) {
+	f := strings.Split(line, ",")
+	if len(f) < 5 {
+		return Request{}, fmt.Errorf("want at least 5 fields, got %d", len(f))
+	}
+	lba, err := strconv.ParseInt(strings.TrimSpace(f[1]), 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("lba %q: %v", f[1], err)
+	}
+	size, err := strconv.Atoi(strings.TrimSpace(f[2]))
+	if err != nil {
+		return Request{}, fmt.Errorf("size %q: %v", f[2], err)
+	}
+	var op Op
+	switch strings.ToLower(strings.TrimSpace(f[3])) {
+	case "r":
+		op = OpRead
+	case "w":
+		op = OpWrite
+	default:
+		return Request{}, fmt.Errorf("opcode %q", f[3])
+	}
+	secs, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("timestamp %q: %v", f[4], err)
+	}
+	sectors := (size + SectorSize - 1) / SectorSize
+	if sectors == 0 {
+		sectors = 1
+	}
+	req := Request{
+		Arrival: sim.Time(0).Add(sim.Duration(math.Round(secs * float64(sim.Second)))),
+		LBN:     lba,
+		Sectors: sectors,
+		Op:      op,
+	}
+	return req, req.Validate()
+}
+
+// WriteSPC writes requests in the SPC-1 CSV format, using ASU 0.
+func WriteSPC(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		opc := "w"
+		if r.Op == OpRead {
+			opc = "r"
+		}
+		secs := sim.Duration(r.Arrival).Seconds()
+		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n", r.LBN, r.Bytes(), opc, secs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+
+	"dloop/internal/sim"
+)
+
+// Stats summarizes a trace the way Table II of the paper does.
+type Stats struct {
+	Reads, Writes int64
+	ReadSectors   int64
+	WriteSectors  int64
+	MinLBN        int64
+	MaxEnd        int64 // one past the highest sector touched
+	Duration      sim.Duration
+}
+
+// Summarize computes Table II-style statistics over a request slice.
+func Summarize(reqs []Request) Stats {
+	s := Stats{MinLBN: -1}
+	for _, r := range reqs {
+		if r.Op == OpRead {
+			s.Reads++
+			s.ReadSectors += int64(r.Sectors)
+		} else {
+			s.Writes++
+			s.WriteSectors += int64(r.Sectors)
+		}
+		if s.MinLBN < 0 || r.LBN < s.MinLBN {
+			s.MinLBN = r.LBN
+		}
+		if r.End() > s.MaxEnd {
+			s.MaxEnd = r.End()
+		}
+		if d := sim.Duration(r.Arrival); d > s.Duration {
+			s.Duration = d
+		}
+	}
+	return s
+}
+
+// Requests returns the total request count.
+func (s Stats) Requests() int64 { return s.Reads + s.Writes }
+
+// WriteRatio returns the fraction of requests that are writes.
+func (s Stats) WriteRatio() float64 {
+	if s.Requests() == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Requests())
+}
+
+// MeanSizeBytes returns the mean request size in bytes.
+func (s Stats) MeanSizeBytes() float64 {
+	if s.Requests() == 0 {
+		return 0
+	}
+	return float64(s.ReadSectors+s.WriteSectors) * SectorSize / float64(s.Requests())
+}
+
+// Rate returns the mean arrival rate in requests per second.
+func (s Stats) Rate() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Requests()) / s.Duration.Seconds()
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d reqs (%.1f%% write), mean %.1f KB, %.1f req/s over %.1f min, footprint %.1f MB",
+		s.Requests(), 100*s.WriteRatio(), s.MeanSizeBytes()/1024, s.Rate(),
+		s.Duration.Seconds()/60, float64(s.MaxEnd)*SectorSize/(1<<20))
+}

@@ -1,0 +1,105 @@
+// Package trace defines the host-request model the simulator replays, along
+// with readers and writers for the two on-disk formats the storage-research
+// community uses for the paper's workloads: the DiskSim ASCII format and the
+// SPC-1 (UMass/Storage Performance Council) CSV format.
+package trace
+
+import (
+	"fmt"
+
+	"dloop/internal/sim"
+)
+
+// SectorSize is the addressing granularity of host requests, in bytes.
+const SectorSize = 512
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+const (
+	// OpRead is a host read.
+	OpRead Op = iota
+	// OpWrite is a host write.
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Request is one host I/O: at Arrival, transfer Sectors sectors starting at
+// sector LBN, in the direction given by Op.
+type Request struct {
+	Arrival sim.Time
+	LBN     int64 // starting logical sector number
+	Sectors int   // request length in sectors
+	Op      Op
+}
+
+// Bytes returns the request length in bytes.
+func (r Request) Bytes() int64 { return int64(r.Sectors) * SectorSize }
+
+// End returns the first sector past the request.
+func (r Request) End() int64 { return r.LBN + int64(r.Sectors) }
+
+// Validate reports whether the request is well formed.
+func (r Request) Validate() error {
+	if r.Arrival < 0 {
+		return fmt.Errorf("trace: negative arrival time %v", r.Arrival)
+	}
+	if r.LBN < 0 {
+		return fmt.Errorf("trace: negative LBN %d", r.LBN)
+	}
+	if r.Sectors <= 0 {
+		return fmt.Errorf("trace: non-positive size %d sectors", r.Sectors)
+	}
+	if r.Op != OpRead && r.Op != OpWrite {
+		return fmt.Errorf("trace: unknown op %d", r.Op)
+	}
+	return nil
+}
+
+// Reader yields a sequence of requests in non-decreasing arrival order.
+// Next returns io.EOF after the last request.
+type Reader interface {
+	Next() (Request, error)
+}
+
+// SliceReader replays an in-memory request slice.
+type SliceReader struct {
+	reqs []Request
+	pos  int
+}
+
+// NewSliceReader returns a Reader over the given requests.
+func NewSliceReader(reqs []Request) *SliceReader {
+	return &SliceReader{reqs: reqs}
+}
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Request, error) {
+	if r.pos >= len(r.reqs) {
+		return Request{}, errEOF
+	}
+	req := r.reqs[r.pos]
+	r.pos++
+	return req, nil
+}
+
+// ReadAll drains a Reader into a slice.
+func ReadAll(r Reader) ([]Request, error) {
+	var out []Request
+	for {
+		req, err := r.Next()
+		if err != nil {
+			if isEOF(err) {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, req)
+	}
+}

@@ -1,0 +1,23 @@
+package workload
+
+import "testing"
+
+// BenchmarkGenerator measures synthetic request generation, which feeds
+// every experiment run.
+func BenchmarkGenerator(b *testing.B) {
+	for _, p := range All() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			g, err := NewGenerator(p, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
