@@ -36,6 +36,7 @@ func reportCell(b *testing.B, g *dloop.Grid, series, x, metric string) {
 // and SDRPP vs 4-64 GB for five traces and three FTLs).
 func BenchmarkFig8(b *testing.B) {
 	opt := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mrt, sdrpp, err := dloop.Fig8(opt)
 		if err != nil {
@@ -53,6 +54,7 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig9 regenerates the page-size sweep (Fig. 9: 2-16 KB at 8 GB).
 func BenchmarkFig9(b *testing.B) {
 	opt := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mrt, _, err := dloop.Fig9(opt)
 		if err != nil {
@@ -69,6 +71,7 @@ func BenchmarkFig9(b *testing.B) {
 // BenchmarkFig10 regenerates the extra-blocks sweep (Fig. 10: 3-10% at 8 GB).
 func BenchmarkFig10(b *testing.B) {
 	opt := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mrt, _, err := dloop.Fig10(opt)
 		if err != nil {
@@ -86,6 +89,7 @@ func BenchmarkFig10(b *testing.B) {
 // gain over DFTL and FAST, derived from the Fig. 8 sweep).
 func BenchmarkHeadline(b *testing.B) {
 	opt := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		mrt, _, err := dloop.Fig8(opt)
 		if err != nil {
@@ -103,6 +107,7 @@ func BenchmarkHeadline(b *testing.B) {
 // moves versus forced external moves on Financial1.
 func BenchmarkAblationCopyback(b *testing.B) {
 	opt := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g, err := dloop.AblationCopyback(opt)
 		if err != nil {
@@ -118,6 +123,7 @@ func BenchmarkAblationCopyback(b *testing.B) {
 // BenchmarkParityReport runs the E6 same-parity waste measurement.
 func BenchmarkParityReport(b *testing.B) {
 	opt := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g, err := dloop.ParityReport(opt)
 		if err != nil {
@@ -132,6 +138,7 @@ func BenchmarkParityReport(b *testing.B) {
 // BenchmarkHotPlane runs the E7 adaptive-GC extension comparison.
 func BenchmarkHotPlane(b *testing.B) {
 	opt := benchOptions()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g, err := dloop.HotPlane(opt)
 		if err != nil {
@@ -160,6 +167,7 @@ func BenchmarkSimulateThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ssd.Serve(reqs[i%len(reqs)]); err != nil {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dloop"
+	"dloop/internal/prof"
 	"dloop/internal/ssd"
 	"dloop/internal/trace"
 )
@@ -35,8 +36,23 @@ func main() {
 		adaptive  = flag.Bool("adaptive-gc", false, "DLOOP E7 extension: hot-plane-aware GC thresholds")
 		stripeBy  = flag.String("stripe-by", "", "DLOOP E8 ablation: plane|die|chip|channel")
 		bufPages  = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOut   = flag.String("trace-out", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, perr := prof.Start(prof.Config{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *traceOut})
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "dloopsim:", perr)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dloopsim:", err)
+		}
+	}()
 
 	cfg := dloop.Config{
 		CapacityGB:      *capacity,

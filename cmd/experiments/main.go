@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dloop"
+	"dloop/internal/prof"
 )
 
 func main() {
@@ -33,8 +34,23 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = NumCPU)")
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOut   = flag.String("trace-out", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(prof.Config{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *traceOut})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	opt := dloop.Options{Requests: *requests, Seed: *seed, Scale: *scale, Workers: *workers}
 	if !*quiet {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"dloop/internal/ssd"
+	"dloop/internal/trace"
 	"dloop/internal/workload"
 )
 
@@ -72,17 +73,32 @@ func Run(cfg ssd.Config, profile workload.Profile, requests int, seed int64) (ss
 	if err != nil {
 		return ssd.Result{}, err
 	}
-	for i := 0; i < requests; i++ {
-		req, err := gen.Next()
+	// Replay in chunks through one reusable buffer: the generator amortizes
+	// its call overhead and the serve loop stays tight.
+	buf := make([]trace.Request, replayChunk)
+	for served := 0; served < requests; {
+		want := requests - served
+		if want > len(buf) {
+			want = len(buf)
+		}
+		n, err := gen.NextN(buf[:want])
 		if err != nil {
 			return ssd.Result{}, err
 		}
-		if _, err := c.Serve(req); err != nil {
-			return ssd.Result{}, fmt.Errorf("expt: %s/%s request %d: %w", cfg.FTL, profile.Name, i, err)
+		for i := 0; i < n; i++ {
+			if _, err := c.Serve(buf[i]); err != nil {
+				return ssd.Result{}, fmt.Errorf("expt: %s/%s request %d: %w", cfg.FTL, profile.Name, served+i, err)
+			}
 		}
+		served += n
 	}
 	return c.Result(), nil
 }
+
+// replayChunk is the number of requests generated per NextN batch during
+// replay. Large enough to amortize call overhead, small enough that the
+// buffer stays cache-resident.
+const replayChunk = 4096
 
 // job is one (config, workload) cell of a sweep.
 type job struct {
@@ -93,39 +109,51 @@ type job struct {
 	profile workload.Profile
 }
 
-// runAll executes jobs on a bounded worker pool, returning results by key.
+// runAll executes jobs on a bounded worker pool: exactly opt.Workers
+// goroutines pull from a shared channel, so a 60-cell sweep does not spawn 60
+// goroutines (each Run pins megabytes of simulator state). After the first
+// failure the remaining queue drains without running.
 func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 	opt.setDefaults()
 	results := make(map[string]ssd.Result, len(jobs))
 	var mu sync.Mutex
 	var firstErr error
-	sem := make(chan struct{}, opt.Workers)
+	ch := make(chan job)
 	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			mu.Lock()
-			stop := firstErr != nil
-			mu.Unlock()
-			if stop {
-				return
-			}
-			res, err := Run(j.cfg, j.profile, opt.Requests, opt.Seed)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			results[j.key] = res
-			opt.progress("done %-28s mean=%8.3f ms  sdrpp=%5.2f  gc=%d", j.key, res.MeanRespMs, res.SDRPP, res.GCRuns)
-		}(j)
+	workers := opt.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue // drain the queue without running
+				}
+				res, err := Run(j.cfg, j.profile, opt.Requests, opt.Seed)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				results[j.key] = res
+				mu.Unlock()
+				opt.progress("done %-28s mean=%8.3f ms  sdrpp=%5.2f  gc=%d", j.key, res.MeanRespMs, res.SDRPP, res.GCRuns)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr

@@ -2,6 +2,8 @@ package expt
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -77,6 +79,60 @@ func TestRunSingle(t *testing.T) {
 	}
 	if res.Requests != 500 || res.MeanRespMs <= 0 {
 		t.Fatalf("result: %+v", res)
+	}
+}
+
+// TestRunDeterministic is the regression gate for the hot-path rewrites: two
+// runs with the same configuration, profile, and seed must produce an
+// identical Result, down to every counter and the per-plane op vector.
+func TestRunDeterministic(t *testing.T) {
+	opt := quickOptions()
+	cfg, ok := configFor(4, 2, 0.03, ssd.SchemeDLOOP, opt)
+	if !ok {
+		t.Fatal("configFor failed")
+	}
+	p := scaleProfile(workload.Financial1(), opt.Scale)
+	a, err := Run(cfg, p, 1500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, p, 1500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same (cfg, profile, seed) produced different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunAllBoundedPool exercises the worker pool: more jobs than workers,
+// every cell filled, and an injected failure surfacing as the returned error.
+func TestRunAllBoundedPool(t *testing.T) {
+	opt := quickOptions()
+	opt.Requests = 300
+	opt.Workers = 2
+	cfg, ok := configFor(4, 2, 0.03, ssd.SchemeDLOOP, opt)
+	if !ok {
+		t.Fatal("configFor failed")
+	}
+	p := scaleProfile(workload.Financial1(), opt.Scale)
+	var jobs []job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, job{key: fmt.Sprintf("j%d", i), cfg: cfg, profile: p})
+	}
+	results, err := runAll(jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+
+	bad := cfg
+	bad.FTL = "NOPE"
+	jobs = append(jobs, job{key: "bad", cfg: bad, profile: p})
+	if _, err := runAll(jobs, opt); err == nil {
+		t.Fatal("runAll swallowed the failing job's error")
 	}
 }
 

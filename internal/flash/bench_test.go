@@ -26,6 +26,7 @@ func BenchmarkWriteErase(b *testing.B) {
 	d := benchDevice(b)
 	g := d.Geometry()
 	var at sim.Time
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pb := PlaneBlock{Plane: i % g.Planes(), Block: (i / g.Planes()) % g.BlocksPerPlane}
@@ -62,6 +63,7 @@ func BenchmarkCopyBack(b *testing.B) {
 		}
 		at = end
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	srcBlock, dstBlock, page := 0, 1, 0
 	for i := 0; i < b.N; i++ {

@@ -86,6 +86,15 @@ type Device struct {
 	chipBus  []*sim.Resource // serial I/O bus shared by dies of one chip
 	channels []*sim.Resource // external channels shared by packages
 
+	// Derived geometry constants and per-plane bus lookups, cached so the
+	// per-operation hot path does no repeated multiplication chains or
+	// hierarchy divisions.
+	totalPages    int64
+	pagesPerBlock int64
+	pagesPerPlane int64
+	planeChip     []*sim.Resource // plane -> its chip's serial bus
+	planeChannel  []*sim.Resource // plane -> its channel
+
 	stats Stats
 }
 
@@ -115,6 +124,15 @@ func NewDevice(geo Geometry, timing Timing) (*Device, error) {
 	d.channels = make([]*sim.Resource, geo.Channels)
 	for i := range d.channels {
 		d.channels[i] = sim.NewResource(fmt.Sprintf("channel%d", i))
+	}
+	d.totalPages = geo.TotalPages()
+	d.pagesPerBlock = int64(geo.PagesPerBlock)
+	d.pagesPerPlane = int64(geo.PagesPerBlock) * int64(geo.BlocksPerPlane)
+	d.planeChip = make([]*sim.Resource, geo.Planes())
+	d.planeChannel = make([]*sim.Resource, geo.Planes())
+	for p := range d.planeChip {
+		d.planeChip[p] = d.chipBus[geo.ChipOfPlane(p)]
+		d.planeChannel[p] = d.channels[geo.ChannelOfPlane(p)]
 	}
 	d.stats.init(geo)
 	return d, nil
@@ -161,21 +179,36 @@ func (d *Device) Block(pb PlaneBlock) BlockInfo { return d.blocks[d.geo.BlockInd
 func (d *Device) PlaneFreeAt(plane int) sim.Time { return d.planes[plane].FreeAt() }
 
 func (d *Device) busFor(plane int) (chip, channel *sim.Resource) {
-	return d.chipBus[d.geo.ChipOfPlane(plane)], d.channels[d.geo.ChannelOfPlane(plane)]
+	return d.planeChip[plane], d.planeChannel[plane]
 }
+
+// validPPN is Geometry.ValidPPN against the cached page total.
+func (d *Device) validPPN(ppn PPN) bool {
+	return uint64(ppn) < uint64(d.totalPages)
+}
+
+// planeOf is Geometry.PlaneOf with one cached division.
+func (d *Device) planeOf(ppn PPN) int { return int(int64(ppn) / d.pagesPerPlane) }
+
+// blockIndexOf collapses Geometry.BlockIndex(Geometry.BlockOf(ppn)) into a
+// single division.
+func (d *Device) blockIndexOf(ppn PPN) int64 { return int64(ppn) / d.pagesPerBlock }
+
+// pageOf is Geometry.PageOf against the cached block size.
+func (d *Device) pageOf(ppn PPN) int { return int(int64(ppn) % d.pagesPerBlock) }
 
 // ReadPage performs an external page read: the plane reads the cell array
 // into its data register, then the page crosses the chip serial bus and the
 // channel to the controller. It returns the completion time.
 func (d *Device) ReadPage(ppn PPN, ready sim.Time, cause Cause) (sim.Time, error) {
-	if !d.geo.ValidPPN(ppn) {
+	if !d.validPPN(ppn) {
 		return 0, fmt.Errorf("flash: read %w: ppn %d", ErrOutOfRange, ppn)
 	}
 	if d.state[ppn] != PageValid {
 		return 0, fmt.Errorf("flash: read ppn %d (%v): %w, page is %v",
 			ppn, d.geo.BlockOf(ppn), ErrReadInvalid, d.state[ppn])
 	}
-	plane := d.geo.PlaneOf(ppn)
+	plane := d.planeOf(ppn)
 	pl := d.planes[plane]
 	chip, ch := d.busFor(plane)
 
@@ -193,14 +226,14 @@ func (d *Device) ReadPage(ppn PPN, ready sim.Time, cause Cause) (sim.Time, error
 // crosses the channel and chip bus into the plane register, then the plane
 // programs the cell array. It returns the completion time.
 func (d *Device) WritePage(ppn PPN, lpn int64, ready sim.Time, cause Cause) (sim.Time, error) {
-	if !d.geo.ValidPPN(ppn) {
+	if !d.validPPN(ppn) {
 		return 0, fmt.Errorf("flash: write %w: ppn %d", ErrOutOfRange, ppn)
 	}
 	if d.state[ppn] != PageFree {
 		return 0, fmt.Errorf("flash: write ppn %d (%v): %w, page is %v",
 			ppn, d.geo.BlockOf(ppn), ErrWriteNotFree, d.state[ppn])
 	}
-	plane := d.geo.PlaneOf(ppn)
+	plane := d.planeOf(ppn)
 	pl := d.planes[plane]
 	chip, ch := d.busFor(plane)
 
@@ -219,15 +252,15 @@ func (d *Device) WritePage(ppn PPN, lpn int64, ready sim.Time, cause Cause) (sim
 // chip bus or the channel. The vendor restriction applies: source and
 // destination in-block offsets must share parity, or ErrParity is returned.
 func (d *Device) CopyBack(src, dst PPN, ready sim.Time, cause Cause) (sim.Time, error) {
-	if !d.geo.ValidPPN(src) || !d.geo.ValidPPN(dst) {
+	if !d.validPPN(src) || !d.validPPN(dst) {
 		return 0, fmt.Errorf("flash: copy-back %w: src %d dst %d", ErrOutOfRange, src, dst)
 	}
-	plane := d.geo.PlaneOf(src)
-	if plane != d.geo.PlaneOf(dst) {
+	plane := d.planeOf(src)
+	if plane != d.planeOf(dst) {
 		return 0, fmt.Errorf("flash: copy-back src %v dst %v: %w",
 			d.geo.BlockOf(src), d.geo.BlockOf(dst), ErrCrossPlane)
 	}
-	if d.geo.PageOf(src)%2 != d.geo.PageOf(dst)%2 {
+	if d.pageOf(src)%2 != d.pageOf(dst)%2 {
 		return 0, fmt.Errorf("flash: copy-back src page %d dst page %d: %w",
 			d.geo.PageOf(src), d.geo.PageOf(dst), ErrParity)
 	}
@@ -280,7 +313,7 @@ func (d *Device) Erase(pb PlaneBlock, ready sim.Time, cause Cause) (sim.Time, er
 // Invalidate marks a valid page stale without consuming simulated time; it
 // models the metadata update an FTL performs when it supersedes a page.
 func (d *Device) Invalidate(ppn PPN) error {
-	if !d.geo.ValidPPN(ppn) {
+	if !d.validPPN(ppn) {
 		return fmt.Errorf("flash: invalidate %w: ppn %d", ErrOutOfRange, ppn)
 	}
 	if d.state[ppn] != PageValid {
@@ -294,7 +327,7 @@ func (d *Device) Invalidate(ppn PPN) error {
 // skip a destination page whose parity does not match the source of a
 // copy-back. It consumes no simulated time (it is pure FTL bookkeeping).
 func (d *Device) WastePage(ppn PPN) error {
-	if !d.geo.ValidPPN(ppn) {
+	if !d.validPPN(ppn) {
 		return fmt.Errorf("flash: waste %w: ppn %d", ErrOutOfRange, ppn)
 	}
 	if d.state[ppn] != PageFree {
@@ -312,18 +345,18 @@ func (d *Device) WastePage(ppn PPN) error {
 }
 
 func (d *Device) program(ppn PPN, lpn int64) {
-	bi := d.geo.BlockIndex(d.geo.BlockOf(ppn))
+	bi := d.blockIndexOf(ppn)
 	d.state[ppn] = PageValid
 	d.lpns[ppn] = lpn
 	d.blocks[bi].Valid++
 	d.blocks[bi].Written++
-	if p := d.geo.PageOf(ppn); p >= d.blocks[bi].NextWrite {
+	if p := d.pageOf(ppn); p >= d.blocks[bi].NextWrite {
 		d.blocks[bi].NextWrite = p + 1
 	}
 }
 
 func (d *Device) invalidate(ppn PPN) {
-	bi := d.geo.BlockIndex(d.geo.BlockOf(ppn))
+	bi := d.blockIndexOf(ppn)
 	d.state[ppn] = PageInvalid
 	d.lpns[ppn] = -1
 	d.blocks[bi].Valid--

@@ -57,9 +57,10 @@ type BAST struct {
 	capacity ftl.LPN
 
 	pool      *ftl.FreeBlocks
-	dataBlock []int64 // lbn -> dense block index, -1 if none
-	logs      map[int64]*logBlock
-	logOrder  []int64 // lbns in log-allocation order (merge victims FIFO)
+	dataBlock []int64     // lbn -> dense block index, -1 if none
+	logs      []*logBlock // lbn -> its dedicated log block, nil if none
+	nLogs     int         // open log blocks (non-nil entries of logs)
+	logOrder  []int64     // lbns in log-allocation order (merge victims FIFO)
 
 	stats Stats
 }
@@ -88,8 +89,8 @@ func New(dev *flash.Device, cfg Config) (*BAST, error) {
 		capacity:  capacity,
 		pool:      ftl.NewFreeBlocks(geo),
 		dataBlock: make([]int64, int64(capacity)/int64(geo.PagesPerBlock)),
-		logs:      make(map[int64]*logBlock),
 	}
+	f.logs = make([]*logBlock, len(f.dataBlock))
 	for i := range f.dataBlock {
 		f.dataBlock[i] = -1
 	}
@@ -123,7 +124,7 @@ func (f *BAST) Lookup(lpn ftl.LPN) flash.PPN {
 
 func (f *BAST) lookup(lpn ftl.LPN) flash.PPN {
 	lbn, off := f.split(lpn)
-	if lb, ok := f.logs[lbn]; ok && lb.pageFor[off] >= 0 {
+	if lb := f.logs[lbn]; lb != nil && lb.pageFor[off] >= 0 {
 		return f.geo.PPNOf(lb.pb.Plane, lb.pb.Block, lb.pageFor[off])
 	}
 	if f.dataBlock[lbn] < 0 {
@@ -163,7 +164,7 @@ func (f *BAST) WritePage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
 	}
 	// In-place program if the data block's slot is erased and no newer log
 	// copy exists.
-	if lb, logged := f.logs[lbn]; !logged || lb.pageFor[off] < 0 {
+	if lb := f.logs[lbn]; lb == nil || lb.pageFor[off] < 0 {
 		if ppn := f.dataPPN(lbn, off); f.dev.PageState(ppn) == flash.PageFree {
 			return f.dev.WritePage(ppn, int64(lpn), ready, flash.CauseHost)
 		}
@@ -173,8 +174,8 @@ func (f *BAST) WritePage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
 
 func (f *BAST) logWrite(lpn ftl.LPN, lbn int64, off int, ready sim.Time) (sim.Time, error) {
 	t := ready
-	lb, ok := f.logs[lbn]
-	if ok && lb.next >= f.geo.PagesPerBlock {
+	lb := f.logs[lbn]
+	if lb != nil && lb.next >= f.geo.PagesPerBlock {
 		// This block's own log is full: merge it, then retry placement.
 		var err error
 		t, err = f.merge(lbn, t)
@@ -183,9 +184,9 @@ func (f *BAST) logWrite(lpn ftl.LPN, lbn int64, off int, ready sim.Time) (sim.Ti
 		}
 		return f.WritePage(lpn, t)
 	}
-	if !ok {
+	if lb == nil {
 		// Need a fresh dedicated log block; evict the oldest if at budget.
-		for len(f.logs) >= f.cfg.LogBlocks {
+		for f.nLogs >= f.cfg.LogBlocks {
 			var err error
 			t, err = f.merge(f.logOrder[0], t)
 			if err != nil {
@@ -201,6 +202,7 @@ func (f *BAST) logWrite(lpn ftl.LPN, lbn int64, off int, ready sim.Time) (sim.Ti
 			lb.pageFor[i] = -1
 		}
 		f.logs[lbn] = lb
+		f.nLogs++
 		f.logOrder = append(f.logOrder, lbn)
 	}
 
@@ -234,14 +236,15 @@ func (f *BAST) alloc() (flash.PlaneBlock, error) {
 // merge retires lbn's log block: a switch merge when it is a complete
 // in-order rewrite, otherwise a full merge into a fresh block.
 func (f *BAST) merge(lbn int64, ready sim.Time) (sim.Time, error) {
-	lb, ok := f.logs[lbn]
-	if !ok {
+	lb := f.logs[lbn]
+	if lb == nil {
 		return ready, nil
 	}
 	if lb.next*4 < f.geo.PagesPerBlock {
 		f.stats.Thrashes++ // the classic BAST pathology
 	}
-	delete(f.logs, lbn)
+	f.logs[lbn] = nil
+	f.nLogs--
 	for i, l := range f.logOrder {
 		if l == lbn {
 			f.logOrder = append(f.logOrder[:i], f.logOrder[i+1:]...)

@@ -60,8 +60,8 @@ func TestDedicatedLogBlockPerLogicalBlock(t *testing.T) {
 		}
 		at = end
 	}
-	if len(f.logs) != 2 {
-		t.Fatalf("logs = %d, want 2 (one per logical block)", len(f.logs))
+	if f.nLogs != 2 {
+		t.Fatalf("logs = %d, want 2 (one per logical block)", f.nLogs)
 	}
 	if f.logs[0].pb == f.logs[1].pb {
 		t.Fatal("logical blocks share a log block")
@@ -162,8 +162,8 @@ func TestFullMergeAndThrashing(t *testing.T) {
 	if st.Thrashes == 0 {
 		t.Fatal("round-robin updates must thrash BAST's per-block logs")
 	}
-	if len(f.logs) > 4 {
-		t.Fatalf("log budget exceeded: %d", len(f.logs))
+	if f.nLogs > 4 {
+		t.Fatalf("log budget exceeded: %d", f.nLogs)
 	}
 	// Consistency.
 	for lpn := ftl.LPN(0); lpn < 96; lpn++ {

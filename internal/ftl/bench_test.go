@@ -12,6 +12,7 @@ func BenchmarkCMT(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lpn := LPN(i % 8192) // 50% working set over capacity: mixes hits and evictions
@@ -32,6 +33,7 @@ func BenchmarkTrackerChurn(b *testing.B) {
 	for bk := 0; bk < geo.BlocksPerPlane; bk++ {
 		tr.Close(flash.PlaneBlock{Plane: 0, Block: bk})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pb := flash.PlaneBlock{Plane: 0, Block: i % geo.BlocksPerPlane}

@@ -20,14 +20,34 @@ import (
 // translation-page write-back, every other dirty mapping belonging to the
 // same translation page is written back (and cleaned) in the same
 // read-modify-write.
+//
+// Entries live in a slab of values addressed by int32 handles (0 is the nil
+// handle), recycled through a free list, so the cache performs no per-entry
+// heap allocation in steady state. Recency lists and the per-translation-page
+// dirty index are intrusive: each entry carries its own links, and dirty
+// membership costs one list splice plus a counter update instead of a
+// map-of-maps insertion.
 type CMT struct {
-	capacity  int
-	protCap   int // capacity of the protected segment
-	epp       int // mapping entries per translation page
-	entries   map[LPN]*cmtEntry
+	capacity int
+	protCap  int // capacity of the protected segment
+	epp      int // mapping entries per translation page
+	n        int // cached entries
+
+	slab     []cmtEntry // 1-based; slab[0] is the nil sentinel
+	freeHead int32      // free-list head, linked through cmtEntry.next
+
+	// Exactly one of the two lookup indexes is active: dense maps the whole
+	// logical space to handles (O(1), no hashing) when the space size is
+	// known at build time; index is the fallback for callers that size only
+	// the cache.
+	dense []int32
+	index map[LPN]int32
+
 	probation cmtList // MRU at head
 	protected cmtList // MRU at head
-	dirtyByTP map[int64]map[LPN]struct{}
+
+	tpHead  []int32 // tvpn -> head of the intrusive dirty list
+	tpCount []int32 // tvpn -> cached dirty mappings
 
 	hits, misses int64
 }
@@ -44,39 +64,42 @@ type cmtEntry struct {
 	ppn        flash.PPN
 	dirty      bool
 	protected  bool
-	prev, next *cmtEntry
+	prev, next int32 // recency-list links (next doubles as the free-list link)
+	dPrev, dNext int32 // per-translation-page dirty-list links
 }
 
 type cmtList struct {
-	head, tail *cmtEntry
+	head, tail int32
 	n          int
 }
 
-func (l *cmtList) pushFront(e *cmtEntry) {
-	e.prev = nil
+func (c *CMT) pushFront(l *cmtList, h int32) {
+	e := &c.slab[h]
+	e.prev = 0
 	e.next = l.head
-	if l.head != nil {
-		l.head.prev = e
+	if l.head != 0 {
+		c.slab[l.head].prev = h
 	}
-	l.head = e
-	if l.tail == nil {
-		l.tail = e
+	l.head = h
+	if l.tail == 0 {
+		l.tail = h
 	}
 	l.n++
 }
 
-func (l *cmtList) remove(e *cmtEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
+func (c *CMT) listRemove(l *cmtList, h int32) {
+	e := &c.slab[h]
+	if e.prev != 0 {
+		c.slab[e.prev].next = e.next
 	} else {
 		l.head = e.next
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if e.next != 0 {
+		c.slab[e.next].prev = e.prev
 	} else {
 		l.tail = e.prev
 	}
-	e.prev, e.next = nil, nil
+	e.prev, e.next = 0, 0
 	l.n--
 }
 
@@ -85,23 +108,86 @@ func (l *cmtList) remove(e *cmtEntry) {
 // entries per translation page, used to group dirty entries for batched
 // write-back. Capacity must be at least 2 and entriesPerPage at least 1.
 func NewCMT(capacity, entriesPerPage int) (*CMT, error) {
+	return newCMT(capacity, entriesPerPage, 0, 0)
+}
+
+// NewCMTForSpace is NewCMT for a caller that knows the logical space the
+// cache fronts: space logical pages grouped into translationPages
+// translation pages. Lookups then go through a dense handle array instead of
+// a hash map, which matters on the request-serving hot path.
+func NewCMTForSpace(capacity, entriesPerPage int, space LPN, translationPages int) (*CMT, error) {
+	if space < 1 || translationPages < 1 {
+		return nil, fmt.Errorf("ftl: CMT space %d / %d translation pages too small", space, translationPages)
+	}
+	return newCMT(capacity, entriesPerPage, space, translationPages)
+}
+
+func newCMT(capacity, entriesPerPage int, space LPN, translationPages int) (*CMT, error) {
 	if capacity < 2 {
 		return nil, fmt.Errorf("ftl: CMT capacity %d too small", capacity)
 	}
 	if entriesPerPage < 1 {
 		return nil, fmt.Errorf("ftl: entries per translation page %d too small", entriesPerPage)
 	}
-	return &CMT{
-		capacity:  capacity,
-		protCap:   capacity / 2,
-		epp:       entriesPerPage,
-		entries:   make(map[LPN]*cmtEntry, capacity),
-		dirtyByTP: make(map[int64]map[LPN]struct{}),
-	}, nil
+	c := &CMT{
+		capacity: capacity,
+		protCap:  capacity / 2,
+		epp:      entriesPerPage,
+		slab:     make([]cmtEntry, capacity+1),
+	}
+	// Chain every handle onto the free list.
+	for h := 1; h <= capacity; h++ {
+		c.slab[h].next = int32(h) + 1
+	}
+	c.slab[capacity].next = 0
+	c.freeHead = 1
+	if space > 0 {
+		c.dense = make([]int32, space)
+		c.tpHead = make([]int32, translationPages)
+		c.tpCount = make([]int32, translationPages)
+	} else {
+		c.index = make(map[LPN]int32, capacity)
+	}
+	return c, nil
+}
+
+func (c *CMT) alloc() int32 {
+	h := c.freeHead
+	c.freeHead = c.slab[h].next
+	c.slab[h] = cmtEntry{}
+	return h
+}
+
+func (c *CMT) release(h int32) {
+	c.slab[h].next = c.freeHead
+	c.freeHead = h
+}
+
+func (c *CMT) lookup(lpn LPN) int32 {
+	if c.dense != nil {
+		return c.dense[lpn]
+	}
+	return c.index[lpn]
+}
+
+func (c *CMT) setIndex(lpn LPN, h int32) {
+	if c.dense != nil {
+		c.dense[lpn] = h
+		return
+	}
+	c.index[lpn] = h
+}
+
+func (c *CMT) delIndex(lpn LPN) {
+	if c.dense != nil {
+		c.dense[lpn] = 0
+		return
+	}
+	delete(c.index, lpn)
 }
 
 // Len returns the number of cached entries.
-func (c *CMT) Len() int { return len(c.entries) }
+func (c *CMT) Len() int { return c.n }
 
 // Capacity returns the maximum number of entries.
 func (c *CMT) Capacity() int { return c.capacity }
@@ -116,60 +202,74 @@ func (c *CMT) HitRate() (rate float64, hits, misses int64) {
 
 func (c *CMT) tvpn(lpn LPN) int64 { return int64(lpn) / int64(c.epp) }
 
-func (c *CMT) markDirty(lpn LPN) {
-	tp := c.tvpn(lpn)
-	set, ok := c.dirtyByTP[tp]
-	if !ok {
-		set = make(map[LPN]struct{})
-		c.dirtyByTP[tp] = set
+// ensureTP grows the map-indexed cache's translation-page arrays to cover
+// tvpn; the dense variant sized them at construction.
+func (c *CMT) ensureTP(tvpn int64) {
+	for int64(len(c.tpHead)) <= tvpn {
+		c.tpHead = append(c.tpHead, 0)
+		c.tpCount = append(c.tpCount, 0)
 	}
-	set[lpn] = struct{}{}
 }
 
-func (c *CMT) unmarkDirty(lpn LPN) {
-	tp := c.tvpn(lpn)
-	if set, ok := c.dirtyByTP[tp]; ok {
-		delete(set, lpn)
-		if len(set) == 0 {
-			delete(c.dirtyByTP, tp)
-		}
+func (c *CMT) markDirty(h int32) {
+	e := &c.slab[h]
+	tp := c.tvpn(e.lpn)
+	c.ensureTP(tp)
+	e.dPrev = 0
+	e.dNext = c.tpHead[tp]
+	if e.dNext != 0 {
+		c.slab[e.dNext].dPrev = h
 	}
+	c.tpHead[tp] = h
+	c.tpCount[tp]++
+}
+
+func (c *CMT) unmarkDirty(h int32) {
+	e := &c.slab[h]
+	tp := c.tvpn(e.lpn)
+	if e.dPrev != 0 {
+		c.slab[e.dPrev].dNext = e.dNext
+	} else {
+		c.tpHead[tp] = e.dNext
+	}
+	if e.dNext != 0 {
+		c.slab[e.dNext].dPrev = e.dPrev
+	}
+	e.dPrev, e.dNext = 0, 0
+	c.tpCount[tp]--
 }
 
 // Get looks up a mapping, updating recency and segment membership on a hit.
 func (c *CMT) Get(lpn LPN) (flash.PPN, bool) {
-	e, ok := c.entries[lpn]
-	if !ok {
+	h := c.lookup(lpn)
+	if h == 0 {
 		c.misses++
 		return flash.InvalidPPN, false
 	}
 	c.hits++
-	c.touch(e)
-	return e.ppn, true
+	c.touch(h)
+	return c.slab[h].ppn, true
 }
 
 // Contains reports whether a mapping is cached without perturbing recency or
 // hit statistics (used by garbage collection).
-func (c *CMT) Contains(lpn LPN) bool {
-	_, ok := c.entries[lpn]
-	return ok
-}
+func (c *CMT) Contains(lpn LPN) bool { return c.lookup(lpn) != 0 }
 
-func (c *CMT) touch(e *cmtEntry) {
-	if e.protected {
-		c.protected.remove(e)
-		c.protected.pushFront(e)
+func (c *CMT) touch(h int32) {
+	if c.slab[h].protected {
+		c.listRemove(&c.protected, h)
+		c.pushFront(&c.protected, h)
 		return
 	}
 	// Promote probation -> protected; demote protected LRU if over capacity.
-	c.probation.remove(e)
-	e.protected = true
-	c.protected.pushFront(e)
+	c.listRemove(&c.probation, h)
+	c.slab[h].protected = true
+	c.pushFront(&c.protected, h)
 	for c.protected.n > c.protCap {
 		lru := c.protected.tail
-		c.protected.remove(lru)
-		lru.protected = false
-		c.probation.pushFront(lru)
+		c.listRemove(&c.protected, lru)
+		c.slab[lru].protected = false
+		c.pushFront(&c.probation, lru)
 	}
 }
 
@@ -177,67 +277,86 @@ func (c *CMT) touch(e *cmtEntry) {
 // evicts the segmented-LRU victim and returns it with evicted=true; the
 // caller must write the victim back to its translation page if it is dirty.
 func (c *CMT) Insert(lpn LPN, ppn flash.PPN, dirty bool) (victim CMTEntry, evicted bool) {
-	if _, ok := c.entries[lpn]; ok {
+	if c.lookup(lpn) != 0 {
 		panic(fmt.Sprintf("ftl: CMT.Insert of cached lpn %d", lpn))
 	}
-	if len(c.entries) >= c.capacity {
+	if c.n >= c.capacity {
 		victim, evicted = c.evict()
 	}
-	e := &cmtEntry{lpn: lpn, ppn: ppn, dirty: dirty}
-	c.entries[lpn] = e
-	c.probation.pushFront(e)
+	h := c.alloc()
+	e := &c.slab[h]
+	e.lpn, e.ppn, e.dirty = lpn, ppn, dirty
+	c.setIndex(lpn, h)
+	c.pushFront(&c.probation, h)
+	c.n++
 	if dirty {
-		c.markDirty(lpn)
+		c.markDirty(h)
 	}
 	return victim, evicted
 }
 
 func (c *CMT) evict() (CMTEntry, bool) {
-	var e *cmtEntry
-	if c.probation.tail != nil {
-		e = c.probation.tail
-		c.probation.remove(e)
-	} else if c.protected.tail != nil {
-		e = c.protected.tail
-		c.protected.remove(e)
+	var h int32
+	if c.probation.tail != 0 {
+		h = c.probation.tail
+		c.listRemove(&c.probation, h)
+	} else if c.protected.tail != 0 {
+		h = c.protected.tail
+		c.listRemove(&c.protected, h)
 	} else {
 		return CMTEntry{}, false
 	}
-	delete(c.entries, e.lpn)
+	e := &c.slab[h]
 	if e.dirty {
-		c.unmarkDirty(e.lpn)
+		c.unmarkDirty(h)
 	}
-	return CMTEntry{LPN: e.lpn, PPN: e.ppn, Dirty: e.dirty}, true
+	c.delIndex(e.lpn)
+	c.n--
+	victim := CMTEntry{LPN: e.lpn, PPN: e.ppn, Dirty: e.dirty}
+	c.release(h)
+	return victim, true
 }
 
 // Update rewrites the PPN of a cached mapping and ORs in dirty. It reports
 // whether the entry was present.
 func (c *CMT) Update(lpn LPN, ppn flash.PPN, dirty bool) bool {
-	e, ok := c.entries[lpn]
-	if !ok {
+	h := c.lookup(lpn)
+	if h == 0 {
 		return false
 	}
+	e := &c.slab[h]
 	e.ppn = ppn
 	if dirty && !e.dirty {
 		e.dirty = true
-		c.markDirty(lpn)
+		c.markDirty(h)
 	}
 	return true
 }
 
 // DirtyInPage returns how many cached dirty mappings belong to the
 // translation page tvpn.
-func (c *CMT) DirtyInPage(tvpn int64) int { return len(c.dirtyByTP[tvpn]) }
+func (c *CMT) DirtyInPage(tvpn int64) int {
+	if tvpn < 0 || tvpn >= int64(len(c.tpCount)) {
+		return 0
+	}
+	return int(c.tpCount[tvpn])
+}
 
 // CleanPage marks every cached dirty mapping of translation page tvpn clean
 // and returns how many there were. Mapper.writeBack calls it after the
 // read-modify-write that persisted them all at once (DFTL's batch update).
 func (c *CMT) CleanPage(tvpn int64) int {
-	set := c.dirtyByTP[tvpn]
-	n := len(set)
-	for lpn := range set {
-		c.entries[lpn].dirty = false
+	if tvpn < 0 || tvpn >= int64(len(c.tpHead)) {
+		return 0
 	}
-	delete(c.dirtyByTP, tvpn)
+	for h := c.tpHead[tvpn]; h != 0; {
+		e := &c.slab[h]
+		e.dirty = false
+		h = e.dNext
+		e.dPrev, e.dNext = 0, 0
+	}
+	n := int(c.tpCount[tvpn])
+	c.tpHead[tvpn] = 0
+	c.tpCount[tvpn] = 0
 	return n
 }

@@ -144,6 +144,127 @@ func TestCMTEvictedDirtyEntryLeavesIndex(t *testing.T) {
 	}
 }
 
+func TestCMTCleanPageNoDirtyEntries(t *testing.T) {
+	c, _ := NewCMT(8, 4)
+	c.Insert(0, 10, false)
+	c.Insert(1, 11, false)
+	if n := c.CleanPage(0); n != 0 {
+		t.Fatalf("CleanPage of all-clean page = %d, want 0", n)
+	}
+	// Translation pages the cache has never seen, including out of range.
+	if n := c.CleanPage(3); n != 0 {
+		t.Fatalf("CleanPage of untouched page = %d, want 0", n)
+	}
+	if n := c.CleanPage(-1); n != 0 {
+		t.Fatalf("CleanPage(-1) = %d, want 0", n)
+	}
+	if n := c.CleanPage(1 << 40); n != 0 {
+		t.Fatalf("CleanPage beyond range = %d, want 0", n)
+	}
+}
+
+// TestCMTEvictDirectlyWithEmptyProbation drives evict() with every entry in
+// the protected segment: the victim must come from the protected tail and its
+// dirty accounting must be unwound.
+func TestCMTEvictDirectlyWithEmptyProbation(t *testing.T) {
+	c, _ := NewCMT(4, 4)
+	c.Insert(0, 10, true)
+	c.Insert(1, 11, false)
+	c.Get(0)
+	c.Get(1) // both promoted: probation is empty, protected holds {1, 0}
+	if c.probation.n != 0 || c.protected.n != 2 {
+		t.Fatalf("segments: probation %d protected %d, want 0/2", c.probation.n, c.protected.n)
+	}
+	victim, evicted := c.evict()
+	if !evicted || victim.LPN != 0 || !victim.Dirty {
+		t.Fatalf("victim %+v %v, want dirty lpn 0 from protected tail", victim, evicted)
+	}
+	if c.DirtyInPage(0) != 0 {
+		t.Fatal("evicted protected entry still counted dirty")
+	}
+	if c.Len() != 1 || c.Contains(0) {
+		t.Fatal("evicted entry still cached")
+	}
+}
+
+func TestCMTUpdatePromotesCleanToDirtyOnce(t *testing.T) {
+	c, _ := NewCMT(8, 4)
+	c.Insert(2, 10, false)
+	if c.DirtyInPage(0) != 0 {
+		t.Fatal("clean insert counted dirty")
+	}
+	if !c.Update(2, 11, true) {
+		t.Fatal("Update of cached entry returned false")
+	}
+	if got := c.DirtyInPage(0); got != 1 {
+		t.Fatalf("DirtyInPage after clean->dirty = %d, want 1", got)
+	}
+	// Re-dirtying an already-dirty entry must not double-count it.
+	c.Update(2, 12, true)
+	if got := c.DirtyInPage(0); got != 1 {
+		t.Fatalf("DirtyInPage after second dirty Update = %d, want 1", got)
+	}
+	if n := c.CleanPage(0); n != 1 {
+		t.Fatalf("CleanPage = %d, want the single entry", n)
+	}
+	// A dirty=false Update must not clean an entry.
+	c.Update(2, 13, true)
+	c.Update(2, 14, false)
+	if got := c.DirtyInPage(0); got != 1 {
+		t.Fatalf("Update(dirty=false) changed dirty count: %d, want 1", got)
+	}
+}
+
+// TestCMTDenseVariantMatchesMap runs the same operation stream against the
+// map-indexed and dense-indexed builds; they must behave identically.
+func TestCMTDenseVariantMatchesMap(t *testing.T) {
+	const space, epp = 40, 4
+	a, _ := NewCMT(8, epp)
+	b, err := NewCMTForSpace(8, epp, space, (space+epp-1)/epp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		lpn := LPN(rng.Intn(space))
+		switch rng.Intn(4) {
+		case 0:
+			pa, oka := a.Get(lpn)
+			pb, okb := b.Get(lpn)
+			if pa != pb || oka != okb {
+				t.Fatalf("op %d: Get(%d) diverged: (%d,%v) vs (%d,%v)", i, lpn, pa, oka, pb, okb)
+			}
+		case 1:
+			ppn := flash.PPN(rng.Intn(1000))
+			dirty := rng.Intn(2) == 0
+			if a.Contains(lpn) != b.Contains(lpn) {
+				t.Fatalf("op %d: Contains(%d) diverged", i, lpn)
+			}
+			if a.Contains(lpn) {
+				if a.Update(lpn, ppn, dirty) != b.Update(lpn, ppn, dirty) {
+					t.Fatalf("op %d: Update(%d) diverged", i, lpn)
+				}
+			} else {
+				va, ea := a.Insert(lpn, ppn, dirty)
+				vb, eb := b.Insert(lpn, ppn, dirty)
+				if va != vb || ea != eb {
+					t.Fatalf("op %d: Insert(%d) diverged: %+v/%v vs %+v/%v", i, lpn, va, ea, vb, eb)
+				}
+			}
+		case 2:
+			tvpn := int64(rng.Intn(space / epp))
+			if na, nb := a.CleanPage(tvpn), b.CleanPage(tvpn); na != nb {
+				t.Fatalf("op %d: CleanPage(%d) diverged: %d vs %d", i, tvpn, na, nb)
+			}
+		case 3:
+			tvpn := int64(rng.Intn(space / epp))
+			if na, nb := a.DirtyInPage(tvpn), b.DirtyInPage(tvpn); na != nb {
+				t.Fatalf("op %d: DirtyInPage(%d) diverged: %d vs %d", i, tvpn, na, nb)
+			}
+		}
+	}
+}
+
 // Property: the cache never exceeds capacity, Get returns what was last
 // Insert/Update-ed, and the dirty index matches entry dirty flags.
 func TestCMTModelProperty(t *testing.T) {

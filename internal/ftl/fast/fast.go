@@ -48,8 +48,8 @@ type FAST struct {
 	lbns     int64 // logical blocks exported
 
 	pool      *ftl.FreeBlocks
-	dataBlock []int64               // lbn -> dense physical block index, -1 if none
-	logMap    map[ftl.LPN]flash.PPN // current location of log-resident pages
+	dataBlock []int64     // lbn -> dense physical block index, -1 if none
+	logMap    []flash.PPN // lpn -> log-resident location, InvalidPPN if none
 
 	swLBN   int64 // logical block owning the SW log, -1 if inactive
 	swBlock flash.PlaneBlock
@@ -89,11 +89,14 @@ func New(dev *flash.Device, cfg Config) (*FAST, error) {
 		lbns:      int64(capacity) / int64(geo.PagesPerBlock),
 		pool:      ftl.NewFreeBlocks(geo),
 		dataBlock: make([]int64, int64(capacity)/int64(geo.PagesPerBlock)),
-		logMap:    make(map[ftl.LPN]flash.PPN),
+		logMap:    make([]flash.PPN, capacity),
 		swLBN:     -1,
 	}
 	for i := range f.dataBlock {
 		f.dataBlock[i] = -1
+	}
+	for i := range f.logMap {
+		f.logMap[i] = flash.InvalidPPN
 	}
 	return f, nil
 }
@@ -130,7 +133,7 @@ func (f *FAST) dataPPN(lbn int64, off int) flash.PPN {
 // lookup returns the physical page currently holding lpn, or InvalidPPN.
 // Log-resident versions shadow the data block.
 func (f *FAST) lookup(lpn ftl.LPN) flash.PPN {
-	if ppn, ok := f.logMap[lpn]; ok {
+	if ppn := f.logMap[lpn]; ppn != flash.InvalidPPN {
 		return ppn
 	}
 	lbn, off := f.split(lpn)
@@ -302,8 +305,8 @@ func (f *FAST) mergeSW(ready sim.Time) (sim.Time, error) {
 		// log entries that still point into it — others are live elsewhere.
 		for off := 0; off < f.swNext; off++ {
 			lpn := ftl.LPN(lbn*int64(f.geo.PagesPerBlock) + int64(off))
-			if ppn, ok := f.logMap[lpn]; ok && f.geo.BlockOf(ppn) == b {
-				delete(f.logMap, lpn)
+			if ppn := f.logMap[lpn]; ppn != flash.InvalidPPN && f.geo.BlockOf(ppn) == b {
+				f.logMap[lpn] = flash.InvalidPPN
 			}
 		}
 		t, err = f.eraseToPool(b, t)
@@ -334,7 +337,7 @@ func (f *FAST) mergeSW(ready sim.Time) (sim.Time, error) {
 			if err != nil {
 				return 0, err
 			}
-			delete(f.logMap, lpn)
+			f.logMap[lpn] = flash.InvalidPPN
 		}
 		t, err = f.retireDataBlock(lbn, t)
 		if err != nil {
@@ -364,7 +367,7 @@ func (f *FAST) mergeSW(ready sim.Time) (sim.Time, error) {
 // drops its pages from the log map.
 func (f *FAST) adoptAsData(lbn int64, b flash.PlaneBlock) {
 	for off := 0; off < f.geo.PagesPerBlock; off++ {
-		delete(f.logMap, ftl.LPN(lbn*int64(f.geo.PagesPerBlock)+int64(off)))
+		f.logMap[ftl.LPN(lbn*int64(f.geo.PagesPerBlock)+int64(off))] = flash.InvalidPPN
 	}
 	f.dataBlock[lbn] = f.geo.BlockIndex(b)
 }
@@ -431,7 +434,7 @@ func (f *FAST) consolidate(lbn int64, ready sim.Time) (sim.Time, error) {
 		if err != nil {
 			return 0, err
 		}
-		delete(f.logMap, lpn)
+		f.logMap[lpn] = flash.InvalidPPN
 	}
 	t, err = f.retireDataBlock(lbn, t)
 	if err != nil {

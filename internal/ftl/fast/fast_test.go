@@ -245,7 +245,7 @@ func TestReadPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := f.logMap[50]; !ok {
+	if f.logMap[50] == flash.InvalidPPN {
 		t.Fatal("update not in log map")
 	}
 	if _, err := f.ReadPage(50, at); err != nil {

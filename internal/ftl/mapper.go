@@ -64,11 +64,11 @@ func NewMapper(dev *flash.Device, placer Placer, tracker *Tracker, capacity LPN,
 	if per < 1 {
 		return nil, fmt.Errorf("ftl: page size %d too small for translation entries", dev.Geometry().PageSize)
 	}
-	cmt, err := NewCMT(cmtEntries, per)
+	nTP := (int64(capacity) + int64(per) - 1) / int64(per)
+	cmt, err := NewCMTForSpace(cmtEntries, per, capacity, int(nTP))
 	if err != nil {
 		return nil, err
 	}
-	nTP := (int64(capacity) + int64(per) - 1) / int64(per)
 	m := &Mapper{
 		dev:          dev,
 		placer:       placer,

@@ -1,0 +1,82 @@
+// Package prof wires the standard -cpuprofile/-memprofile/-trace trio into a
+// command. The simulator's hot paths were tuned from exactly these profiles;
+// keeping the flags on every binary makes the next regression a one-flag
+// reproduction instead of an instrumentation project.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config holds the profile output paths; empty paths are disabled.
+type Config struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Start begins the enabled profiles and returns a stop function that must be
+// called (once) before the process exits; it flushes and closes the outputs.
+func Start(cfg Config) (func() error, error) {
+	var stops []func() error
+
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+
+	if cfg.Trace != "" {
+		f, err := os.Create(cfg.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: start trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+
+	if cfg.MemProfile != "" {
+		path := cfg.MemProfile
+		stops = append(stops, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+			return f.Close()
+		})
+	}
+
+	return func() error {
+		var firstErr error
+		for _, stop := range stops {
+			if err := stop(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,44 +1,88 @@
 package sim
 
-import "container/heap"
+// OpFunc is the callback form of a scheduled operation: a function plus two
+// integer arguments. Storing the arguments in the event instead of capturing
+// them in a closure lets the queue recycle event storage — steady-state
+// scheduling allocates nothing.
+type OpFunc func(at Time, a0, a1 int64)
 
-// Event is a unit of future work in the simulation: a callback that fires at
-// a point in simulated time.
+// Event is a unit of future work in the simulation: an op descriptor that
+// fires at a point in simulated time.
 type Event struct {
-	At Time
-	Do func(at Time)
+	At     Time
+	Fn     OpFunc
+	A0, A1 int64
 
-	seq   int64 // tie-break so equal-time events fire in insertion order
-	index int   // heap bookkeeping
+	seq int64 // tie-break so equal-time events fire in insertion order
 }
+
+// Fire invokes the event's callback with its stored arguments.
+func (e Event) Fire() { e.Fn(e.At, e.A0, e.A1) }
 
 // EventQueue is a time-ordered queue of events. Events with equal timestamps
 // fire in insertion order, which keeps trace replay deterministic.
+//
+// Events live in a slab indexed by int32 handles; popped events return their
+// slot to an internal free-list, so a queue that reaches its high-water mark
+// never allocates again. The binary heap orders handles, not Event values,
+// keeping sift operations cheap.
 type EventQueue struct {
-	h   eventHeap
-	seq int64
+	slab []Event // slot 0 unused: handle 0 is the nil sentinel
+	free []int32 // recycled slots
+	heap []int32 // handles ordered by (At, seq)
+	seq  int64
 }
 
 // NewEventQueue returns an empty queue.
 func NewEventQueue() *EventQueue {
-	return &EventQueue{}
+	return &EventQueue{slab: make([]Event, 1)}
 }
 
 // Len returns the number of pending events.
-func (q *EventQueue) Len() int { return len(q.h) }
+func (q *EventQueue) Len() int { return len(q.heap) }
 
-// Schedule enqueues a callback to fire at the given time.
+// Schedule enqueues a callback to fire at the given time. The closure is
+// the caller's allocation; hot paths should use ScheduleOp, which stores its
+// arguments in the pooled event instead.
 func (q *EventQueue) Schedule(at Time, do func(at Time)) {
-	q.seq++
-	heap.Push(&q.h, &Event{At: at, Do: do, seq: q.seq})
+	q.ScheduleOp(at, func(t Time, _, _ int64) { do(t) }, 0, 0)
 }
 
-// Next removes and returns the earliest event, or nil if the queue is empty.
-func (q *EventQueue) Next() *Event {
-	if len(q.h) == 0 {
-		return nil
+// ScheduleOp enqueues an op descriptor: fn will be called at the given time
+// with the two arguments. The event storage comes from the queue's free-list,
+// so steady-state scheduling performs no heap allocation.
+func (q *EventQueue) ScheduleOp(at Time, fn OpFunc, a0, a1 int64) {
+	q.seq++
+	var h int32
+	if n := len(q.free); n > 0 {
+		h = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		h = int32(len(q.slab))
+		q.slab = append(q.slab, Event{})
 	}
-	return heap.Pop(&q.h).(*Event)
+	q.slab[h] = Event{At: at, Fn: fn, A0: a0, A1: a1, seq: q.seq}
+	q.heap = append(q.heap, h)
+	q.siftUp(len(q.heap) - 1)
+}
+
+// Next removes and returns the earliest event. ok is false if the queue is
+// empty. The returned Event is a copy; its slot is recycled immediately.
+func (q *EventQueue) Next() (ev Event, ok bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	h := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	ev = q.slab[h]
+	q.slab[h].Fn = nil // drop the callback reference for the GC
+	q.free = append(q.free, h)
+	return ev, true
 }
 
 // RunAll drains the queue, invoking each event's callback in time order.
@@ -47,44 +91,53 @@ func (q *EventQueue) Next() *Event {
 func (q *EventQueue) RunAll() Time {
 	var last Time
 	for {
-		ev := q.Next()
-		if ev == nil {
+		ev, ok := q.Next()
+		if !ok {
 			return last
 		}
 		last = ev.At
-		ev.Do(ev.At)
+		ev.Fire()
 	}
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// less orders handles by time, then insertion sequence.
+func (q *EventQueue) less(a, b int32) bool {
+	ea, eb := &q.slab[a], &q.slab[b]
+	if ea.At != eb.At {
+		return ea.At < eb.At
 	}
-	return h[i].seq < h[j].seq
+	return ea.seq < eb.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (q *EventQueue) siftUp(i int) {
+	h := q.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(h, q.heap[parent]) {
+			break
+		}
+		q.heap[i] = q.heap[parent]
+		i = parent
+	}
+	q.heap[i] = h
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+func (q *EventQueue) siftDown(i int) {
+	h := q.heap[i]
+	n := len(q.heap)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if right := kid + 1; right < n && q.less(q.heap[right], q.heap[kid]) {
+			kid = right
+		}
+		if !q.less(q.heap[kid], h) {
+			break
+		}
+		q.heap[i] = q.heap[kid]
+		i = kid
+	}
+	q.heap[i] = h
 }

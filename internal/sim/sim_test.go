@@ -177,12 +177,52 @@ func TestEventQueueReentrantScheduling(t *testing.T) {
 
 func TestEventQueueEmptyNext(t *testing.T) {
 	q := NewEventQueue()
-	if q.Next() != nil {
-		t.Fatal("Next on empty queue should return nil")
+	if _, ok := q.Next(); ok {
+		t.Fatal("Next on empty queue should report no event")
 	}
 	if q.RunAll() != 0 {
 		t.Fatal("RunAll on empty queue should return 0")
 	}
+}
+
+func TestEventQueueOpDescriptor(t *testing.T) {
+	q := NewEventQueue()
+	type fired struct {
+		at     Time
+		a0, a1 int64
+	}
+	var got []fired
+	record := func(at Time, a0, a1 int64) { got = append(got, fired{at, a0, a1}) }
+	q.ScheduleOp(20, record, 3, 4)
+	q.ScheduleOp(10, record, 1, 2)
+	q.RunAll()
+	want := []fired{{10, 1, 2}, {20, 3, 4}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+}
+
+// TestEventQueueSteadyStateAllocs verifies the tentpole property: once the
+// pool reaches its high-water mark, scheduling and firing allocate nothing.
+func TestEventQueueSteadyStateAllocs(t *testing.T) {
+	q := NewEventQueue()
+	var sink int64
+	fn := func(at Time, a0, a1 int64) { sink += a0 + a1 }
+	// Warm the slab and free-list.
+	for i := 0; i < 64; i++ {
+		q.ScheduleOp(Time(i), fn, 1, 2)
+	}
+	q.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.ScheduleOp(Time(i), fn, int64(i), 0)
+		}
+		q.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire allocated %v times per run, want 0", allocs)
+	}
+	_ = sink
 }
 
 // Property: acquisitions never overlap each other (they may backfill gaps),
@@ -229,8 +269,8 @@ func TestEventQueueHeapProperty(t *testing.T) {
 		}
 		var prev Time = -1
 		for {
-			ev := q.Next()
-			if ev == nil {
+			ev, ok := q.Next()
+			if !ok {
 				break
 			}
 			if ev.At < prev {
@@ -241,6 +281,53 @@ func TestEventQueueHeapProperty(t *testing.T) {
 		return q.Len() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal-time events fire in insertion order even while the pool
+// recycles event slots — interleaved schedule/drain cycles must not let a
+// reused slot jump the queue. This is the determinism guarantee trace replay
+// depends on.
+func TestEventQueueInsertionOrderWithPoolReuse(t *testing.T) {
+	f := func(rounds []uint8) bool {
+		q := NewEventQueue()
+		next := 0 // next expected global insertion index at each timestamp
+		ok := true
+		for r, n := range rounds {
+			at := Time(r % 4) // few distinct times: lots of equal-time ties
+			count := int(n%8) + 1
+			next = 0
+			for i := 0; i < count; i++ {
+				i := i
+				q.ScheduleOp(at, func(Time, int64, int64) {}, int64(i), 0)
+			}
+			// Drain half, schedule more at the same time, then drain all:
+			// freed slots get reused while equal-time events are pending.
+			for i := 0; i < count/2; i++ {
+				ev, popped := q.Next()
+				if !popped || ev.A0 != int64(next) {
+					ok = false
+				}
+				next++
+			}
+			for i := 0; i < count; i++ {
+				q.ScheduleOp(at, func(Time, int64, int64) {}, int64(count+i), 0)
+			}
+			for {
+				ev, popped := q.Next()
+				if !popped {
+					break
+				}
+				if ev.A0 != int64(next) {
+					ok = false
+				}
+				next++
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,7 +12,8 @@ func BenchmarkGenerator(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.ResetTimer()
+			b.ReportAllocs()
+	b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.Next(); err != nil {
 					b.Fatal(err)

@@ -212,19 +212,29 @@ func (g *Generator) pickSlot() int64 {
 	return (rank * g.perm) % g.slots
 }
 
+// NextN fills buf with the next len(buf) requests of the stream and returns
+// how many it produced. Replay loops reuse one buffer across calls instead of
+// paying a call per request.
+func (g *Generator) NextN(buf []trace.Request) (int, error) {
+	for i := range buf {
+		r, err := g.Next()
+		if err != nil {
+			return i, err
+		}
+		buf[i] = r
+	}
+	return len(buf), nil
+}
+
 // Generate materializes the first n requests of the stream.
 func Generate(p Profile, seed int64, n int) ([]trace.Request, error) {
 	g, err := NewGenerator(p, seed)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]trace.Request, 0, n)
-	for i := 0; i < n; i++ {
-		r, err := g.Next()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	out := make([]trace.Request, n)
+	if _, err := g.NextN(out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

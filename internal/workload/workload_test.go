@@ -82,6 +82,37 @@ func TestGeneratorDeterminism(t *testing.T) {
 	}
 }
 
+// TestNextNMatchesNext verifies chunked generation is just a view of the
+// same stream: arbitrary chunk boundaries must reproduce per-request Next.
+func TestNextNMatchesNext(t *testing.T) {
+	p := Financial1().ScaleFootprint(0.01)
+	want, err := Generate(p, 7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]trace.Request, 64)
+	var got []trace.Request
+	for _, chunk := range []int{1, 7, 64, 3, 64, 64, 64, 64, 64, 64, 41} {
+		n, err := g.NextN(buf[:chunk])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("generated %d requests, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestGeneratedStreamMatchesProfile(t *testing.T) {
 	for _, p := range All() {
 		p := p.ScaleFootprint(0.05)

@@ -1,0 +1,95 @@
+#!/bin/sh
+# bench.sh — run the hot-path benchmark suite and emit a machine-readable
+# baseline (BENCH_BASELINE.json by default).
+#
+# Usage:
+#   scripts/bench.sh                 # measured run (default -benchtime 300ms)
+#   scripts/bench.sh -smoke          # CI smoke: one iteration per benchmark,
+#                                    # verifies the suite runs, timings noisy
+#   scripts/bench.sh -o out.json     # write the baseline elsewhere
+#
+# The sweep benchmarks (BenchmarkFig8 etc.) regenerate whole paper figures and
+# take seconds per iteration; the baseline tracks the hot-path benchmarks,
+# which is where a scheduling or mapping regression shows up first.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_BASELINE.json
+benchtime=300ms
+count=1
+mode=measured
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -smoke) mode=smoke; benchtime=1x ;;
+    -o) shift; out=$1 ;;
+    *) echo "bench.sh: unknown argument $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# Root package: only the end-to-end throughput benchmark, not the figure
+# sweeps. Internal packages: every benchmark they define.
+go test -run '^$' -bench '^BenchmarkSimulateThroughput$' -benchmem \
+    -benchtime "$benchtime" -count "$count" . | tee -a "$raw"
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
+    ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/workload/ | tee -a "$raw"
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+awk -v commit="$commit" -v date="$date" -v mode="$mode" \
+    -v benchtime="$benchtime" -v goversion="$(go env GOVERSION)" \
+    -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+/^pkg: /       { pkg = $2 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns     = $i
+        if ($(i+1) == "B/op")      bytes  = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    key = pkg "." name
+    # keep the fastest of repeated counts
+    if (!(key in best) || ns + 0 < best[key] + 0) {
+        best[key] = ns
+        bbytes[key] = bytes
+        ballocs[key] = allocs
+        bname[key] = name
+        bpkg[key] = pkg
+        order[++n] = key
+        seen[key] = 1
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"mode\": \"%s\",\n", mode
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"benchmarks\": [\n"
+    emitted = 0
+    for (i = 1; i <= n; i++) {
+        key = order[i]
+        if (!(key in seen)) continue
+        delete seen[key]
+        if (emitted++) printf ",\n"
+        printf "    {\"package\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s",
+            bpkg[key], bname[key], best[key]
+        if (bbytes[key] != "")  printf ", \"bytes_per_op\": %s", bbytes[key]
+        if (ballocs[key] != "") printf ", \"allocs_per_op\": %s", ballocs[key]
+        printf "}"
+    }
+    printf "\n  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "bench.sh: wrote $out ($mode mode)" >&2
