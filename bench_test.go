@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"dloop"
+	"dloop/internal/obs"
 )
 
 // benchOptions shrinks runs so one sweep iteration stays in the seconds
@@ -163,6 +164,35 @@ func BenchmarkSimulateThroughput(b *testing.B) {
 	if err := ssd.PreconditionBytes(p.FootprintBytes); err != nil {
 		b.Fatal(err)
 	}
+	reqs, err := dloop.GenerateTrace(p, 42, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ssd.Serve(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateThroughputObserved is BenchmarkSimulateThroughput with the
+// observability collector attached (metrics registry only, no trace sinks):
+// the difference between the two is the per-request cost of enabling
+// observability. The disabled path is covered by the plain benchmark, whose
+// 0 B/op must survive — every hook is a single nil check there.
+func BenchmarkSimulateThroughputObserved(b *testing.B) {
+	cfg := dloop.Config{CapacityGB: 4, FTL: dloop.SchemeDLOOP}
+	p := dloop.Financial1().ScaleFootprint(0.05)
+	ssd, err := dloop.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ssd.PreconditionBytes(p.FootprintBytes); err != nil {
+		b.Fatal(err)
+	}
+	ssd.SetRecorder(obs.NewCollector(ssd.ObsOptions()))
 	reqs, err := dloop.GenerateTrace(p, 42, 10_000)
 	if err != nil {
 		b.Fatal(err)

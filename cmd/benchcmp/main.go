@@ -1,0 +1,136 @@
+// Command benchcmp diffs two benchmark baselines produced by scripts/bench.sh
+// and fails when the new run regresses: more than -ns-tolerance on ns/op
+// (default 10%), or ANY growth in B/op or allocs/op (the hot paths are
+// zero-allocation by design; a single new byte per op is a bug, not noise).
+//
+// Benchmarks present only in the new run are reported and accepted — adding a
+// benchmark must not break the gate. Benchmarks present only in the baseline
+// are reported as missing and fail the run: a silently vanished benchmark is
+// how a regression hides.
+//
+// Usage:
+//
+//	benchcmp -old BENCH_BASELINE.json -new /tmp/bench.json
+//	benchcmp -ns-tolerance 0.25 ...   # noisy shared runners
+//	benchcmp -skip-ns ...             # allocation gate only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type baseline struct {
+	Commit     string  `json:"commit"`
+	Mode       string  `json:"mode"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Package  string   `json:"package"`
+	Name     string   `json:"name"`
+	NsPerOp  float64  `json:"ns_per_op"`
+	BytesOp  *float64 `json:"bytes_per_op"`
+	AllocsOp *float64 `json:"allocs_per_op"`
+}
+
+func (e entry) key() string { return e.Package + "." + e.Name }
+
+func load(path string) (baseline, error) {
+	var b baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "BENCH_BASELINE.json", "baseline to compare against")
+		newPath = flag.String("new", "", "freshly measured baseline (required)")
+		nsTol   = flag.Float64("ns-tolerance", 0.10, "allowed fractional ns/op growth before failing")
+		skipNs  = flag.Bool("skip-ns", false, "skip ns/op comparison (timings too noisy), keep the allocation gate")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
+		os.Exit(2)
+	}
+	oldB, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newB, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	oldBy := make(map[string]entry, len(oldB.Benchmarks))
+	for _, e := range oldB.Benchmarks {
+		oldBy[e.key()] = e
+	}
+	newBy := make(map[string]entry, len(newB.Benchmarks))
+	var keys []string
+	for _, e := range newB.Benchmarks {
+		newBy[e.key()] = e
+		keys = append(keys, e.key())
+	}
+	sort.Strings(keys)
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+
+	for _, k := range keys {
+		n := newBy[k]
+		o, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("new   %-55s %10.1f ns/op (not in baseline, accepted)\n", k, n.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
+		}
+		status := "ok"
+		if !*skipNs && delta > *nsTol {
+			fail("%-55s ns/op %.1f -> %.1f (%+.1f%%, tolerance %.0f%%)",
+				k, o.NsPerOp, n.NsPerOp, 100*delta, 100**nsTol)
+			status = ""
+		}
+		if o.BytesOp != nil && n.BytesOp != nil && *n.BytesOp > *o.BytesOp {
+			fail("%-55s B/op %.0f -> %.0f (any growth fails)", k, *o.BytesOp, *n.BytesOp)
+			status = ""
+		}
+		if o.AllocsOp != nil && n.AllocsOp != nil && *n.AllocsOp > *o.AllocsOp {
+			fail("%-55s allocs/op %.0f -> %.0f (any growth fails)", k, *o.AllocsOp, *n.AllocsOp)
+			status = ""
+		}
+		if status != "" {
+			fmt.Printf("%-5s %-55s %10.1f ns/op (%+.1f%%)\n", status, k, n.NsPerOp, 100*delta)
+		}
+	}
+	for k := range oldBy {
+		if _, ok := newBy[k]; !ok {
+			fail("%-55s missing from new run", k)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("benchcmp: %d regression(s) vs %s (commit %s)\n", failures, *oldPath, oldB.Commit)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d benchmark(s) within tolerance of %s (commit %s)\n",
+		len(keys), *oldPath, oldB.Commit)
+}

@@ -15,7 +15,10 @@ import (
 	"time"
 
 	"dloop"
+	"dloop/internal/expt"
+	"dloop/internal/obs"
 	"dloop/internal/prof"
+	"dloop/internal/sim"
 	"dloop/internal/ssd"
 	"dloop/internal/trace"
 )
@@ -36,6 +39,10 @@ func main() {
 		adaptive  = flag.Bool("adaptive-gc", false, "DLOOP E7 extension: hot-plane-aware GC thresholds")
 		stripeBy  = flag.String("stripe-by", "", "DLOOP E8 ablation: plane|die|chip|channel")
 		bufPages  = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
+
+		metricsOut  = flag.String("metrics-out", "", "write the run's observability metrics.json to this file")
+		traceEvents = flag.String("trace-events", "", "write a Chrome trace-event/Perfetto timeline of every flash op to this file")
+		snapshotMs  = flag.Int("snapshot-interval", 0, "emit SDRPP/utilization time-series snapshots every N simulated ms (0 = off)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -65,11 +72,16 @@ func main() {
 		BufferPages:     *bufPages,
 	}
 
+	ob, err := newObserver(*metricsOut, *traceEvents, *snapshotMs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dloopsim:", err)
+		os.Exit(1)
+	}
+
 	start := time.Now()
 	var res dloop.Result
-	var err error
 	if *traceFile != "" {
-		res, err = replayFile(cfg, *traceFile, *format, *footprint)
+		res, err = replayFile(cfg, *traceFile, *format, *footprint, ob)
 	} else {
 		p, ok := dloop.WorkloadByName(*traceName)
 		if !ok {
@@ -79,7 +91,10 @@ func main() {
 		if *footprint > 0 {
 			p.FootprintBytes = *footprint << 20
 		}
-		res, err = dloop.Simulate(cfg, p, *requests, *seed)
+		res, err = expt.RunObserved(cfg, p, *requests, *seed, ob.attach)
+	}
+	if err == nil {
+		err = ob.finish()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dloopsim:", err)
@@ -88,7 +103,79 @@ func main() {
 	report(res, time.Since(start))
 }
 
-func replayFile(cfg dloop.Config, path, format string, footprintMiB int64) (dloop.Result, error) {
+// observer owns the command's observability sinks: it builds one collector
+// per run (at the post-precondition attach point) and flushes the metrics
+// and trace files when the run finishes.
+type observer struct {
+	metricsOut string
+	traceFile  *os.File
+	snapshot   sim.Duration
+	col        *obs.Collector
+}
+
+func newObserver(metricsOut, traceEvents string, snapshotMs int) (*observer, error) {
+	ob := &observer{
+		metricsOut: metricsOut,
+		snapshot:   sim.Duration(snapshotMs) * sim.Millisecond,
+	}
+	if traceEvents != "" {
+		f, err := os.Create(traceEvents)
+		if err != nil {
+			return nil, err
+		}
+		ob.traceFile = f
+	}
+	return ob, nil
+}
+
+// enabled reports whether any observability output was requested.
+func (ob *observer) enabled() bool {
+	return ob.metricsOut != "" || ob.traceFile != nil || ob.snapshot > 0
+}
+
+// attach builds the collector for a freshly preconditioned SSD; it returns
+// nil (observability disabled, zero overhead) when no flag asked for output.
+func (ob *observer) attach(c *ssd.Controller) obs.Recorder {
+	if !ob.enabled() {
+		return nil
+	}
+	o := c.ObsOptions()
+	if ob.traceFile != nil {
+		o.TraceEvents = ob.traceFile
+	}
+	o.SnapshotInterval = ob.snapshot
+	ob.col = obs.NewCollector(o)
+	return ob.col
+}
+
+// finish closes the collector and writes the requested artifacts.
+func (ob *observer) finish() error {
+	if ob.col == nil {
+		return nil
+	}
+	if err := ob.col.Close(); err != nil {
+		return err
+	}
+	if ob.traceFile != nil {
+		if err := ob.traceFile.Close(); err != nil {
+			return err
+		}
+	}
+	if ob.metricsOut == "" {
+		return nil
+	}
+	f, err := os.Create(ob.metricsOut)
+	if err != nil {
+		return err
+	}
+	if err := ob.col.WriteMetrics(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func replayFile(cfg dloop.Config, path, format string, footprintMiB int64, ob *observer) (dloop.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return dloop.Result{}, err
@@ -120,6 +207,9 @@ func replayFile(cfg dloop.Config, path, format string, footprintMiB int64) (dloo
 	}
 	if err := c.PreconditionBytes(footprint); err != nil {
 		return dloop.Result{}, err
+	}
+	if rec := ob.attach(c); rec != nil {
+		c.SetRecorder(rec)
 	}
 	return c.Run(trace.NewSliceReader(reqs))
 }

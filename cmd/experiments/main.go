@@ -35,6 +35,10 @@ func main() {
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 
+		metricsOut  = flag.String("metrics-out", "", "directory receiving one metrics.json per run")
+		traceEvents = flag.String("trace-events", "", "directory receiving one Chrome trace-event document per run")
+		snapshotMs  = flag.Int("snapshot-interval", 0, "emit SDRPP/utilization time-series snapshots every N simulated ms (0 = off)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		traceOut   = flag.String("trace-out", "", "write a runtime execution trace to this file")
@@ -52,7 +56,10 @@ func main() {
 		}
 	}()
 
-	opt := dloop.Options{Requests: *requests, Seed: *seed, Scale: *scale, Workers: *workers}
+	opt := dloop.Options{
+		Requests: *requests, Seed: *seed, Scale: *scale, Workers: *workers,
+		MetricsDir: *metricsOut, TraceDir: *traceEvents, SnapshotIntervalMs: *snapshotMs,
+	}
 	if !*quiet {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

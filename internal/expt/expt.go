@@ -9,10 +9,15 @@ package expt
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
+	"dloop/internal/obs"
+	"dloop/internal/sim"
 	"dloop/internal/ssd"
 	"dloop/internal/trace"
 	"dloop/internal/workload"
@@ -33,6 +38,22 @@ type Options struct {
 	// quick runs (default 1.0 = paper scale). Capacities shrink too, via
 	// mini geometries, when Scale < 1.
 	Scale float64
+
+	// MetricsDir, when set, attaches an observability collector to every run
+	// and writes one <key>.metrics.json per run into the directory.
+	MetricsDir string
+	// TraceDir, when set, writes one <key>.trace.json Chrome trace-event
+	// document per run (openable in ui.perfetto.dev). The trace buffer is
+	// capped at obs.DefaultTraceLimit events; overflow is counted, not kept.
+	TraceDir string
+	// SnapshotIntervalMs, when > 0, adds SDRPP/utilization/throughput time
+	// series to each run's metrics, sampled every N simulated milliseconds.
+	SnapshotIntervalMs int
+}
+
+// observes reports whether any observability output is requested.
+func (o Options) observes() bool {
+	return o.MetricsDir != "" || o.TraceDir != "" || o.SnapshotIntervalMs > 0
 }
 
 func (o *Options) setDefaults() {
@@ -62,12 +83,26 @@ func (o Options) progress(format string, args ...any) {
 // Run executes one simulation: build the SSD, precondition the workload's
 // footprint, replay the trace, return the results.
 func Run(cfg ssd.Config, profile workload.Profile, requests int, seed int64) (ssd.Result, error) {
+	return RunObserved(cfg, profile, requests, seed, nil)
+}
+
+// RunObserved is Run with an observability attach point: after the device is
+// preconditioned (so the recorded stream covers exactly the measured window),
+// attach is called with the built controller and any non-nil Recorder it
+// returns is wired through the whole stack. attach may be nil.
+func RunObserved(cfg ssd.Config, profile workload.Profile, requests int, seed int64,
+	attach func(*ssd.Controller) obs.Recorder) (ssd.Result, error) {
 	c, err := ssd.Build(cfg)
 	if err != nil {
 		return ssd.Result{}, fmt.Errorf("expt: build %s: %w", cfg.FTL, err)
 	}
 	if err := c.PreconditionBytes(profile.FootprintBytes); err != nil {
 		return ssd.Result{}, fmt.Errorf("expt: precondition %s/%s: %w", cfg.FTL, profile.Name, err)
+	}
+	if attach != nil {
+		if rec := attach(c); rec != nil {
+			c.SetRecorder(rec)
+		}
 	}
 	gen, err := workload.NewGenerator(profile, seed)
 	if err != nil {
@@ -109,6 +144,73 @@ type job struct {
 	profile workload.Profile
 }
 
+// sanitizeKey turns a job key into a safe file-name stem.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+}
+
+// runJob executes one sweep cell. When the options request observability
+// output it attaches a collector per run and writes the run's metrics.json
+// (and optionally its trace-event document) named after the job key.
+func runJob(j job, opt Options) (ssd.Result, error) {
+	if !opt.observes() {
+		return Run(j.cfg, j.profile, opt.Requests, opt.Seed)
+	}
+	var tf *os.File
+	if opt.TraceDir != "" {
+		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
+			return ssd.Result{}, err
+		}
+		var err error
+		tf, err = os.Create(filepath.Join(opt.TraceDir, sanitizeKey(j.key)+".trace.json"))
+		if err != nil {
+			return ssd.Result{}, err
+		}
+		defer tf.Close()
+	}
+	var col *obs.Collector
+	res, err := RunObserved(j.cfg, j.profile, opt.Requests, opt.Seed, func(c *ssd.Controller) obs.Recorder {
+		o := c.ObsOptions()
+		if tf != nil {
+			o.TraceEvents = tf
+		}
+		o.SnapshotInterval = sim.Duration(opt.SnapshotIntervalMs) * sim.Millisecond
+		col = obs.NewCollector(o)
+		return col
+	})
+	if err != nil {
+		return ssd.Result{}, err
+	}
+	if err := col.Close(); err != nil {
+		return ssd.Result{}, err
+	}
+	if opt.MetricsDir != "" {
+		if err := os.MkdirAll(opt.MetricsDir, 0o755); err != nil {
+			return ssd.Result{}, err
+		}
+		mf, err := os.Create(filepath.Join(opt.MetricsDir, sanitizeKey(j.key)+".metrics.json"))
+		if err != nil {
+			return ssd.Result{}, err
+		}
+		if err := col.WriteMetrics(mf); err != nil {
+			mf.Close()
+			return ssd.Result{}, err
+		}
+		if err := mf.Close(); err != nil {
+			return ssd.Result{}, err
+		}
+	}
+	return res, nil
+}
+
 // runAll executes jobs on a bounded worker pool: exactly opt.Workers
 // goroutines pull from a shared channel, so a 60-cell sweep does not spawn 60
 // goroutines (each Run pins megabytes of simulator state). After the first
@@ -135,7 +237,7 @@ func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 				if stop {
 					continue // drain the queue without running
 				}
-				res, err := Run(j.cfg, j.profile, opt.Requests, opt.Seed)
+				res, err := runJob(j, opt)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {

@@ -3,6 +3,7 @@ package flash
 import (
 	"fmt"
 
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
 
@@ -94,8 +95,10 @@ type Device struct {
 	pagesPerPlane int64
 	planeChip     []*sim.Resource // plane -> its chip's serial bus
 	planeChannel  []*sim.Resource // plane -> its channel
+	planeChanIdx  []int32         // plane -> channel index, for op attribution
 
 	stats Stats
+	rec   obs.Recorder // nil when observability is disabled
 }
 
 // NewDevice builds an erased device with the given geometry and timing.
@@ -130,9 +133,11 @@ func NewDevice(geo Geometry, timing Timing) (*Device, error) {
 	d.pagesPerPlane = int64(geo.PagesPerBlock) * int64(geo.BlocksPerPlane)
 	d.planeChip = make([]*sim.Resource, geo.Planes())
 	d.planeChannel = make([]*sim.Resource, geo.Planes())
+	d.planeChanIdx = make([]int32, geo.Planes())
 	for p := range d.planeChip {
 		d.planeChip[p] = d.chipBus[geo.ChipOfPlane(p)]
 		d.planeChannel[p] = d.channels[geo.ChannelOfPlane(p)]
+		d.planeChanIdx[p] = int32(geo.ChannelOfPlane(p))
 	}
 	d.stats.init(geo)
 	return d, nil
@@ -146,6 +151,28 @@ func (d *Device) Timing() Timing { return d.timing }
 
 // Stats returns a snapshot of accumulated operation statistics.
 func (d *Device) Stats() Stats { return d.stats.snapshot() }
+
+// SetRecorder attaches (or, with nil, detaches) an observability recorder.
+// Each flash operation then reports its kind, cause, location, and timestamps
+// through it; when nil the only cost is one pointer check per operation.
+func (d *Device) SetRecorder(r obs.Recorder) { d.rec = r }
+
+// ChannelOfPlane returns the channel index serving a plane (cached form of
+// Geometry.ChannelOfPlane, exported for observability wiring).
+func (d *Device) ChannelOfPlane() []int32 { return d.planeChanIdx }
+
+// BusyTimes reports cumulative busy time per plane, chip serial bus, and
+// channel resource; it satisfies obs.UtilizationSource.
+func (d *Device) BusyTimes() (planes, chipBus, channels []sim.Duration) {
+	busy := func(rs []*sim.Resource) []sim.Duration {
+		out := make([]sim.Duration, len(rs))
+		for i, r := range rs {
+			out[i] = r.BusyTime()
+		}
+		return out
+	}
+	return busy(d.planes), busy(d.chipBus), busy(d.channels)
+}
 
 // ResetStats zeroes all statistics and resource timelines while preserving
 // page and block state. The SSD controller calls it after preconditioning so
@@ -213,12 +240,19 @@ func (d *Device) ReadPage(ppn PPN, ready sim.Time, cause Cause) (sim.Time, error
 	chip, ch := d.busFor(plane)
 
 	// Cell array -> register occupies the plane alone.
-	_, cellDone := pl.Acquire(ready, d.timing.PageRead)
+	start, cellDone := pl.Acquire(ready, d.timing.PageRead)
 	// Register -> controller occupies both buses; the plane's register is in
 	// use until the transfer drains, so the plane stays busy too.
 	_, end := sim.AcquireAll(cellDone, d.timing.Transfer(d.geo.PageSize), chip, ch, pl)
 
 	d.stats.note(opRead, cause, plane, end.Sub(ready))
+	if d.rec != nil {
+		d.rec.RecordOp(obs.Op{
+			Kind: obs.OpRead, Cause: obs.Cause(cause), Stored: d.lpns[ppn],
+			Plane: int32(plane), Channel: d.planeChanIdx[plane],
+			Ready: ready, Start: start, End: end,
+		})
+	}
 	return end, nil
 }
 
@@ -238,12 +272,19 @@ func (d *Device) WritePage(ppn PPN, lpn int64, ready sim.Time, cause Cause) (sim
 	chip, ch := d.busFor(plane)
 
 	// Controller -> register needs both buses and the plane register.
-	_, xferDone := sim.AcquireAll(ready, d.timing.Transfer(d.geo.PageSize), chip, ch, pl)
+	start, xferDone := sim.AcquireAll(ready, d.timing.Transfer(d.geo.PageSize), chip, ch, pl)
 	// Programming occupies the plane alone.
 	_, end := pl.Acquire(xferDone, d.timing.PageProgram)
 
 	d.program(ppn, lpn)
 	d.stats.note(opWrite, cause, plane, end.Sub(ready))
+	if d.rec != nil {
+		d.rec.RecordOp(obs.Op{
+			Kind: obs.OpWrite, Cause: obs.Cause(cause), Stored: lpn,
+			Plane: int32(plane), Channel: d.planeChanIdx[plane],
+			Ready: ready, Start: start, End: end,
+		})
+	}
 	return end, nil
 }
 
@@ -272,12 +313,19 @@ func (d *Device) CopyBack(src, dst PPN, ready sim.Time, cause Cause) (sim.Time, 
 	}
 
 	pl := d.planes[plane]
-	_, end := pl.Acquire(ready, d.timing.CopyBack())
+	start, end := pl.Acquire(ready, d.timing.CopyBack())
 
 	lpn := d.lpns[src]
 	d.invalidate(src)
 	d.program(dst, lpn)
 	d.stats.note(opCopyBack, cause, plane, end.Sub(ready))
+	if d.rec != nil {
+		d.rec.RecordOp(obs.Op{
+			Kind: obs.OpCopyBack, Cause: obs.Cause(cause), Stored: lpn,
+			Plane: int32(plane), Channel: d.planeChanIdx[plane],
+			Ready: ready, Start: start, End: end,
+		})
+	}
 	return end, nil
 }
 
@@ -293,7 +341,7 @@ func (d *Device) Erase(pb PlaneBlock, ready sim.Time, cause Cause) (sim.Time, er
 		return 0, fmt.Errorf("flash: erase %v: %w (%d valid pages)", pb, ErrEraseValid, d.blocks[bi].Valid)
 	}
 	pl := d.planes[pb.Plane]
-	_, end := pl.Acquire(ready, d.timing.BlockErase)
+	start, end := pl.Acquire(ready, d.timing.BlockErase)
 
 	first := d.geo.FirstPPN(pb)
 	for p := 0; p < d.geo.PagesPerBlock; p++ {
@@ -307,6 +355,13 @@ func (d *Device) Erase(pb PlaneBlock, ready sim.Time, cause Cause) (sim.Time, er
 	d.blocks[bi].Erases++
 	d.stats.BlockErases[bi]++
 	d.stats.note(opErase, cause, pb.Plane, end.Sub(ready))
+	if d.rec != nil {
+		d.rec.RecordOp(obs.Op{
+			Kind: obs.OpErase, Cause: obs.Cause(cause), Stored: bi,
+			Plane: int32(pb.Plane), Channel: d.planeChanIdx[pb.Plane],
+			Ready: ready, Start: start, End: end,
+		})
+	}
 	return end, nil
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
 
@@ -63,6 +64,7 @@ type BAST struct {
 	logOrder  []int64     // lbns in log-allocation order (merge victims FIFO)
 
 	stats Stats
+	rec   obs.Recorder // nil when observability is disabled
 }
 
 // New builds a BAST baseline over dev.
@@ -105,6 +107,10 @@ func (f *BAST) Capacity() ftl.LPN { return f.capacity }
 
 // Stats returns BAST's merge counters.
 func (f *BAST) Stats() Stats { return f.stats }
+
+// SetRecorder implements ftl.Observable: merge events and spans flow from
+// here. BAST keeps its maps in SRAM, so there is no CMT traffic to report.
+func (f *BAST) SetRecorder(r obs.Recorder) { f.rec = r }
 
 func (f *BAST) split(lpn ftl.LPN) (lbn int64, off int) {
 	return int64(lpn) / int64(f.geo.PagesPerBlock), int(int64(lpn) % int64(f.geo.PagesPerBlock))
@@ -262,6 +268,10 @@ func (f *BAST) merge(lbn int64, ready sim.Time) (sim.Time, error) {
 		}
 		f.dataBlock[lbn] = f.geo.BlockIndex(lb.pb)
 		f.stats.SwitchMerges++
+		if f.rec != nil {
+			f.rec.RecordEvent(obs.EvSwitchMerge, t)
+			f.rec.RecordSpan(obs.SpanMerge, int32(lb.pb.Plane), ready, t)
+		}
 		return t, nil
 	}
 
@@ -301,6 +311,10 @@ func (f *BAST) merge(lbn int64, ready sim.Time) (sim.Time, error) {
 	}
 	f.pool.Put(lb.pb)
 	f.stats.FullMerges++
+	if f.rec != nil {
+		f.rec.RecordEvent(obs.EvFullMerge, end)
+		f.rec.RecordSpan(obs.SpanMerge, int32(lb.pb.Plane), ready, end)
+	}
 	return end, nil
 }
 

@@ -60,11 +60,11 @@ type CMTEntry struct {
 }
 
 type cmtEntry struct {
-	lpn        LPN
-	ppn        flash.PPN
-	dirty      bool
-	protected  bool
-	prev, next int32 // recency-list links (next doubles as the free-list link)
+	lpn          LPN
+	ppn          flash.PPN
+	dirty        bool
+	protected    bool
+	prev, next   int32 // recency-list links (next doubles as the free-list link)
 	dPrev, dNext int32 // per-translation-page dirty-list links
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
 
@@ -72,6 +73,7 @@ type DFTL struct {
 	gcDepth int        // nesting level of active collections
 
 	stats Stats
+	rec   obs.Recorder // nil when observability is disabled
 }
 
 // New builds a DFTL baseline over dev.
@@ -112,6 +114,12 @@ func (f *DFTL) Stats() Stats {
 
 // CMTHitRate reports the mapping-cache hit rate.
 func (f *DFTL) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRate() }
+
+// SetRecorder implements ftl.Observable.
+func (f *DFTL) SetRecorder(r obs.Recorder) {
+	f.rec = r
+	f.mapper.SetRecorder(r)
+}
 
 // ReadPage implements ftl.FTL.
 func (f *DFTL) ReadPage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
@@ -265,6 +273,9 @@ func (f *DFTL) collect(ready sim.Time) (end sim.Time, reclaimed bool, err error)
 	f.tracker.Erased(victim)
 	f.pool.Put(victim)
 	f.stats.GCRuns++
+	if f.rec != nil {
+		f.rec.RecordSpan(obs.SpanGC, int32(victim.Plane), ready, t)
+	}
 	return t, true, nil
 }
 

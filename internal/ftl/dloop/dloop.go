@@ -19,6 +19,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
 
@@ -92,6 +93,7 @@ type DLOOP struct {
 	totalWrites int64
 
 	stats Stats
+	rec   obs.Recorder // nil when observability is disabled
 }
 
 // New builds a DLOOP FTL over dev.
@@ -143,6 +145,13 @@ func (f *DLOOP) Stats() Stats {
 
 // CMTHitRate reports the mapping-cache hit rate.
 func (f *DLOOP) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRate() }
+
+// SetRecorder implements ftl.Observable: GC spans and parity-waste events
+// flow from here, CMT events from the shared mapper.
+func (f *DLOOP) SetRecorder(r obs.Recorder) {
+	f.rec = r
+	f.mapper.SetRecorder(r)
+}
 
 // planeFor applies equation (1) — through the striping permutation — to
 // data pages and the analogous striping to translation pages.
@@ -344,6 +353,9 @@ func (f *DLOOP) collect(plane int, ready sim.Time) (end sim.Time, reclaimed bool
 				}
 				f.tracker.Invalidated(f.geo.BlockOf(ppn))
 				f.stats.ParityWaste++
+				if f.rec != nil {
+					f.rec.RecordEvent(obs.EvParityWaste, t)
+				}
 				continue
 			}
 			external = true
@@ -392,6 +404,9 @@ func (f *DLOOP) collect(plane int, ready sim.Time) (end sim.Time, reclaimed bool
 	f.tracker.Erased(victim)
 	f.pool.Put(victim)
 	f.stats.GCRuns++
+	if f.rec != nil {
+		f.rec.RecordSpan(obs.SpanGC, int32(plane), ready, t)
+	}
 	return t, true, nil
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
 
@@ -61,6 +62,7 @@ type FAST struct {
 	rwFull   []flash.PlaneBlock // filled RW log blocks, oldest first
 
 	stats Stats
+	rec   obs.Recorder // nil when observability is disabled
 }
 
 // New builds a FAST baseline over dev.
@@ -109,6 +111,10 @@ func (f *FAST) Capacity() ftl.LPN { return f.capacity }
 
 // Stats returns FAST's merge counters.
 func (f *FAST) Stats() Stats { return f.stats }
+
+// SetRecorder implements ftl.Observable: merge events and spans flow from
+// here. FAST keeps its maps in SRAM, so there is no CMT traffic to report.
+func (f *FAST) SetRecorder(r obs.Recorder) { f.rec = r }
 
 // LogBlocksInUse returns how many log blocks currently hold data.
 func (f *FAST) LogBlocksInUse() int {
@@ -322,6 +328,9 @@ func (f *FAST) mergeSW(ready sim.Time) (sim.Time, error) {
 		}
 		f.adoptAsData(lbn, b)
 		f.stats.SwitchMerges++
+		if f.rec != nil {
+			f.rec.RecordEvent(obs.EvSwitchMerge, t)
+		}
 
 	case info.Invalid == 0:
 		// Partial merge: copy the tail of the logical block into the SW log,
@@ -345,6 +354,9 @@ func (f *FAST) mergeSW(ready sim.Time) (sim.Time, error) {
 		}
 		f.adoptAsData(lbn, b)
 		f.stats.PartialMerges++
+		if f.rec != nil {
+			f.rec.RecordEvent(obs.EvPartialMerge, t)
+		}
 
 	default:
 		// The stream was disturbed by random updates: consolidate into a
@@ -360,6 +372,9 @@ func (f *FAST) mergeSW(ready sim.Time) (sim.Time, error) {
 		}
 	}
 	f.swLBN = -1
+	if f.rec != nil {
+		f.rec.RecordSpan(obs.SpanMerge, int32(b.Plane), ready, t)
+	}
 	return t, nil
 }
 
@@ -442,6 +457,9 @@ func (f *FAST) consolidate(lbn int64, ready sim.Time) (sim.Time, error) {
 	}
 	f.dataBlock[lbn] = f.geo.BlockIndex(c)
 	f.stats.FullMerges++
+	if f.rec != nil {
+		f.rec.RecordEvent(obs.EvFullMerge, t)
+	}
 	return t, nil
 }
 
@@ -475,7 +493,14 @@ func (f *FAST) fullMerge(ready sim.Time) (sim.Time, error) {
 			return 0, err
 		}
 	}
-	return f.eraseToPool(victim, t)
+	end, err := f.eraseToPool(victim, t)
+	if err != nil {
+		return 0, err
+	}
+	if f.rec != nil {
+		f.rec.RecordSpan(obs.SpanMerge, int32(victim.Plane), ready, end)
+	}
+	return end, nil
 }
 
 // Lookup returns the current physical page of lpn without charging simulated

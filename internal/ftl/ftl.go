@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"dloop/internal/flash"
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
 
@@ -33,6 +34,15 @@ type FTL interface {
 	WritePage(lpn LPN, ready sim.Time) (sim.Time, error)
 	// Capacity returns the number of logical pages the FTL exports.
 	Capacity() LPN
+}
+
+// Observable is implemented by FTLs that can report internal activity (GC
+// spans, merge events, CMT traffic) through an observability recorder. All
+// FTLs in this repository implement it; the controller wires the recorder
+// through this interface so new schemes opt in by adding one method.
+type Observable interface {
+	// SetRecorder attaches (or, with nil, detaches) the recorder.
+	SetRecorder(r obs.Recorder)
 }
 
 // Stored-page tagging. The flash device records one int64 per physical page;

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dloop/internal/flash"
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
 
@@ -54,6 +55,7 @@ type Mapper struct {
 	tracker      *Tracker // invalidation bookkeeping for superseded translation pages
 
 	stats MapperStats
+	rec   obs.Recorder // nil when observability is disabled
 }
 
 // NewMapper builds a Mapper exporting capacity logical pages, caching
@@ -90,6 +92,10 @@ func NewMapper(dev *flash.Device, placer Placer, tracker *Tracker, capacity LPN,
 // Stats returns the accumulated translation overhead counters.
 func (m *Mapper) Stats() MapperStats { return m.stats }
 
+// SetRecorder attaches (or, with nil, detaches) an observability recorder for
+// CMT hit/miss/evict/write-back events.
+func (m *Mapper) SetRecorder(r obs.Recorder) { m.rec = r }
+
 // EntriesPerTP returns how many mapping entries one translation page holds.
 func (m *Mapper) EntriesPerTP() int { return m.entriesPerTP }
 
@@ -104,18 +110,30 @@ func (m *Mapper) TranslationPages() int { return len(m.GTD) }
 // fetch). It returns the time address translation completes.
 func (m *Mapper) Resolve(lpn LPN, ready sim.Time) (sim.Time, error) {
 	if _, ok := m.CMT.Get(lpn); ok {
+		if m.rec != nil {
+			m.rec.RecordEvent(obs.EvCMTHit, ready)
+		}
 		return ready, nil
+	}
+	if m.rec != nil {
+		m.rec.RecordEvent(obs.EvCMTMiss, ready)
 	}
 	t := ready
 	victim, evicted := m.CMT.Insert(lpn, m.Table[lpn], false)
 	if evicted {
 		m.stats.Evictions++
+		if m.rec != nil {
+			m.rec.RecordEvent(obs.EvCMTEvict, t)
+		}
 		if victim.Dirty {
 			m.stats.DirtyEvictions++
 			var err error
 			t, err = m.writeBack(victim.LPN, t)
 			if err != nil {
 				return 0, err
+			}
+			if m.rec != nil {
+				m.rec.RecordEvent(obs.EvCMTWriteback, t)
 			}
 		}
 	}

@@ -17,6 +17,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
 
@@ -65,6 +66,7 @@ type PureMap struct {
 	inGC    bool
 
 	stats Stats
+	rec   obs.Recorder // nil when observability is disabled
 }
 
 // New builds an ideal page-mapping FTL over dev.
@@ -103,6 +105,10 @@ func (f *PureMap) Capacity() ftl.LPN { return f.capacity }
 
 // Stats returns the ideal FTL's counters.
 func (f *PureMap) Stats() Stats { return f.stats }
+
+// SetRecorder implements ftl.Observable. PureMap has no CMT, so only GC
+// spans and parity-waste events flow.
+func (f *PureMap) SetRecorder(r obs.Recorder) { f.rec = r }
 
 // Lookup returns the current physical page of lpn without side effects.
 func (f *PureMap) Lookup(lpn ftl.LPN) flash.PPN {
@@ -283,6 +289,9 @@ func (f *PureMap) collect(plane int, ready sim.Time) (end sim.Time, reclaimed bo
 				}
 				f.tracker.Invalidated(f.geo.BlockOf(dst))
 				f.stats.ParityWaste++
+				if f.rec != nil {
+					f.rec.RecordEvent(obs.EvParityWaste, t)
+				}
 				continue
 			}
 			p = byParity[want][0]
@@ -335,5 +344,8 @@ func (f *PureMap) collect(plane int, ready sim.Time) (end sim.Time, reclaimed bo
 	f.tracker.Erased(victim)
 	f.pool.Put(victim)
 	f.stats.GCRuns++
+	if f.rec != nil {
+		f.rec.RecordSpan(obs.SpanGC, int32(victim.Plane), ready, t)
+	}
 	return t, true, nil
 }

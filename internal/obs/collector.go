@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"dloop/internal/sim"
+	"dloop/internal/stats"
+)
+
+// Options configures a Collector for one run.
+type Options struct {
+	// FTL labels the registry with the scheme under observation.
+	FTL string
+	// Planes and Channels size the per-plane and per-channel vectors.
+	Planes   int
+	Channels int
+	// ChannelOfPlane maps plane index -> channel index; the trace exporter
+	// uses it to group plane tracks under their channel. When nil every
+	// plane renders under channel 0.
+	ChannelOfPlane []int32
+
+	// TraceEvents, when non-nil, receives a Chrome trace-event JSON document
+	// on Close (openable in chrome://tracing or ui.perfetto.dev).
+	TraceEvents io.Writer
+	// TraceLimit caps buffered trace events (0 = DefaultTraceLimit). Events
+	// beyond the cap are dropped and counted in the trace.dropped metric.
+	TraceLimit int
+	// OpLog, when non-nil, receives one JSON line per flash operation.
+	OpLog io.Writer
+	// SnapshotInterval emits SDRPP/utilization/throughput snapshots into the
+	// registry's time series every interval of simulated time (0 = off).
+	SnapshotInterval sim.Duration
+}
+
+// Collector is the standard Recorder: it maintains the metrics registry,
+// streams the op trace to the configured sinks, and emits periodic
+// snapshots. It also implements sim.QueueObserver so event-queue pressure is
+// visible. Not safe for concurrent use.
+type Collector struct {
+	reg  *Registry
+	opts Options
+
+	// Pre-resolved hot-path handles so recording an op costs array indexing,
+	// not map lookups.
+	ops      [NumOpKinds][NumCauses]*Counter
+	opLat    [NumOpKinds]*Hist
+	queueLat *Hist
+	events   [NumEventKinds]*Counter
+	spans    [NumSpanKinds]*Counter
+	spanBusy [NumSpanKinds]sim.Duration
+	reqRead  *Hist
+	reqWrite *Hist
+
+	planeOps    *CounterVec
+	planeErases *CounterVec
+	chanOps     *CounterVec
+
+	tr    *TraceWriter
+	oplog *OpLog
+
+	// Snapshot state: watermark is the latest completion seen; the window
+	// accumulators reset at every snapshot boundary.
+	watermark sim.Time
+	nextSnap  sim.Time
+	planeCum  []int64 // cumulative ops per plane, the SDRPP input
+	winOps    int64
+	winBusy   sim.Duration
+
+	utilSrc UtilizationSource
+
+	// Event-queue observation.
+	qScheduled, qFired *Counter
+	qHighWater         int
+}
+
+// NewCollector builds a Collector. Planes and Channels must be positive.
+func NewCollector(opts Options) *Collector {
+	if opts.Planes < 1 {
+		opts.Planes = 1
+	}
+	if opts.Channels < 1 {
+		opts.Channels = 1
+	}
+	if opts.ChannelOfPlane == nil {
+		opts.ChannelOfPlane = make([]int32, opts.Planes)
+	}
+	c := &Collector{reg: NewRegistry(), opts: opts}
+	if opts.FTL != "" {
+		c.reg.SetLabel("ftl", opts.FTL)
+	}
+	for k := OpKind(0); k < NumOpKinds; k++ {
+		for cz := Cause(0); cz < NumCauses; cz++ {
+			c.ops[k][cz] = c.reg.Counter("flash." + k.String() + "." + cz.String())
+		}
+		c.opLat[k] = c.reg.Hist("lat." + k.String())
+	}
+	c.queueLat = c.reg.Hist("lat.queue")
+	for e := EventKind(0); e < NumEventKinds; e++ {
+		c.events[e] = c.reg.Counter(e.String())
+	}
+	for s := SpanKind(0); s < NumSpanKinds; s++ {
+		c.spans[s] = c.reg.Counter(s.String() + ".runs")
+	}
+	c.reqRead = c.reg.Hist("host.read")
+	c.reqWrite = c.reg.Hist("host.write")
+	c.planeOps = c.reg.CounterVec("plane.ops", "plane", opts.Planes)
+	c.planeErases = c.reg.CounterVec("plane.erases", "plane", opts.Planes)
+	c.chanOps = c.reg.CounterVec("channel.ops", "channel", opts.Channels)
+	c.qScheduled = c.reg.Counter("sim.events.scheduled")
+	c.qFired = c.reg.Counter("sim.events.fired")
+	c.planeCum = make([]int64, opts.Planes)
+	if opts.TraceEvents != nil {
+		c.tr = newTraceWriter(opts.TraceEvents, opts.TraceLimit, opts.Channels, opts.ChannelOfPlane)
+	}
+	if opts.OpLog != nil {
+		c.oplog = newOpLog(opts.OpLog)
+	}
+	if opts.SnapshotInterval > 0 {
+		c.nextSnap = sim.Time(opts.SnapshotInterval)
+	}
+	return c
+}
+
+// Registry exposes the collector's metrics registry.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// SetUtilizationSource wires the device's cumulative busy-time accessor; the
+// collector samples it once at Close into the *.busy_us vectors.
+func (c *Collector) SetUtilizationSource(src UtilizationSource) { c.utilSrc = src }
+
+// RecordOp implements Recorder.
+func (c *Collector) RecordOp(op Op) {
+	// Advance (closing any snapshot windows the completion crossed) before
+	// accounting, so the op lands in the window containing op.End rather than
+	// inflating the window being closed.
+	c.advance(op.End)
+	c.ops[op.Kind][op.Cause].Inc()
+	c.opLat[op.Kind].Observe(op.Latency())
+	c.queueLat.Observe(op.QueueTime())
+	c.planeOps.Inc(int(op.Plane))
+	c.chanOps.Inc(int(op.Channel))
+	if op.Kind == OpErase {
+		c.planeErases.Inc(int(op.Plane))
+	}
+	c.planeCum[op.Plane]++
+	c.winOps++
+	c.winBusy += op.ServiceTime()
+	if c.tr != nil {
+		c.tr.add(traceEvent{
+			name:   opNames[op.Kind][op.Cause],
+			pid:    op.Channel,
+			tid:    op.Plane,
+			start:  op.Start,
+			dur:    op.ServiceTime(),
+			stored: op.Stored,
+		})
+	}
+	if c.oplog != nil {
+		c.oplog.record(op)
+	}
+}
+
+// RecordEvent implements Recorder.
+func (c *Collector) RecordEvent(kind EventKind, at sim.Time) {
+	c.events[kind].Inc()
+	c.advance(at)
+}
+
+// RecordSpan implements Recorder.
+func (c *Collector) RecordSpan(kind SpanKind, plane int32, start, end sim.Time) {
+	c.spans[kind].Inc()
+	c.spanBusy[kind] += end.Sub(start)
+	if c.tr != nil {
+		var ch int32
+		if int(plane) < len(c.opts.ChannelOfPlane) {
+			ch = c.opts.ChannelOfPlane[plane]
+		}
+		c.tr.add(traceEvent{name: kind.String(), pid: ch, tid: plane, start: start, dur: end.Sub(start), stored: -1})
+	}
+	c.advance(end)
+}
+
+// RecordRequest implements Recorder.
+func (c *Collector) RecordRequest(read bool, arrival, done sim.Time) {
+	if read {
+		c.reqRead.Observe(done.Sub(arrival))
+	} else {
+		c.reqWrite.Observe(done.Sub(arrival))
+	}
+	if c.tr != nil {
+		tid := int32(1)
+		if read {
+			tid = 0
+		}
+		c.tr.add(traceEvent{name: "request", pid: c.tr.hostPID(), tid: tid, start: arrival, dur: done.Sub(arrival), stored: -1})
+	}
+	c.advance(done)
+}
+
+// EventScheduled implements sim.QueueObserver.
+func (c *Collector) EventScheduled(at sim.Time, queued int) {
+	c.qScheduled.Inc()
+	if queued > c.qHighWater {
+		c.qHighWater = queued
+	}
+}
+
+// EventFired implements sim.QueueObserver.
+func (c *Collector) EventFired(at sim.Time, queued int) {
+	c.qFired.Inc()
+	c.advance(at)
+}
+
+// advance moves the simulated-time watermark and emits any snapshot
+// boundaries it crossed.
+func (c *Collector) advance(t sim.Time) {
+	if t <= c.watermark {
+		return
+	}
+	c.watermark = t
+	if c.opts.SnapshotInterval <= 0 {
+		return
+	}
+	for c.watermark >= c.nextSnap {
+		c.emitSnapshot(c.nextSnap.Add(-c.opts.SnapshotInterval), c.opts.SnapshotInterval)
+		c.nextSnap = c.nextSnap.Add(c.opts.SnapshotInterval)
+	}
+}
+
+// emitSnapshot closes the window that started at windowStart: SDRPP over the
+// cumulative per-plane counts, mean plane utilization over the window, and
+// operations completed in the window.
+func (c *Collector) emitSnapshot(windowStart sim.Time, window sim.Duration) {
+	iv := c.opts.SnapshotInterval
+	c.reg.Series("sdrpp", iv).Add(windowStart, stats.SDRPP(c.planeCum))
+	util := float64(c.winBusy) / (float64(window) * float64(c.opts.Planes))
+	c.reg.Series("plane_util", iv).Add(windowStart, util)
+	c.reg.Series("ops", iv).Add(windowStart, float64(c.winOps))
+	c.winOps = 0
+	c.winBusy = 0
+}
+
+// Close finalizes the run: it flushes a trailing partial snapshot window,
+// samples the utilization source, folds span and queue gauges into the
+// registry, and flushes the trace and op-log sinks. It returns the first
+// sink error.
+func (c *Collector) Close() error {
+	if c.opts.SnapshotInterval > 0 && c.winOps > 0 {
+		start := c.nextSnap.Add(-c.opts.SnapshotInterval)
+		if w := c.watermark.Sub(start); w > 0 {
+			c.emitSnapshot(start, w)
+		}
+	}
+	for s := SpanKind(0); s < NumSpanKinds; s++ {
+		c.reg.Gauge(s.String() + ".busy_ms").Set(c.spanBusy[s].Milliseconds())
+	}
+	c.reg.Gauge("sim.queue.highwater").Set(float64(c.qHighWater))
+	if c.utilSrc != nil {
+		planes, chips, channels := c.utilSrc()
+		fill := func(name, label string, ds []sim.Duration) {
+			v := c.reg.CounterVec(name, label, len(ds))
+			for i, d := range ds {
+				v.vals[i] = int64(d) / int64(sim.Microsecond)
+			}
+		}
+		fill("plane.busy_us", "plane", planes)
+		fill("chip.busy_us", "chip", chips)
+		fill("channel.busy_us", "channel", channels)
+	}
+	var firstErr error
+	if c.tr != nil {
+		c.reg.Gauge("trace.dropped").Set(float64(c.tr.Dropped()))
+		if err := c.tr.Flush(); err != nil {
+			firstErr = fmt.Errorf("obs: trace events: %w", err)
+		}
+	}
+	if c.oplog != nil {
+		if err := c.oplog.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("obs: op log: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// WriteMetrics writes the registry as a metrics.json document.
+func (c *Collector) WriteMetrics(w io.Writer) error { return c.reg.WriteJSON(w) }

@@ -1,0 +1,174 @@
+// Package obs is the simulator's observability layer: a metrics registry of
+// named counters, gauges, and latency histograms; a structured trace of every
+// scheduled flash operation exportable as JSONL and as Chrome
+// trace-event/Perfetto timelines; and periodic snapshots that turn per-plane
+// load balance (SDRPP) and utilization into time series.
+//
+// The layer is threaded through the stack as a nil-able Recorder held by the
+// simulated device, the FTLs, and the SSD controller. Every hook is guarded
+// by a single pointer check, so a run with observability disabled performs no
+// allocation and no work beyond that check — the allocation-free hot path is
+// preserved. Recorders, like the simulator itself, are not safe for
+// concurrent use; each run owns its own.
+package obs
+
+import (
+	"fmt"
+
+	"dloop/internal/sim"
+)
+
+// OpKind classifies a flash operation. Values mirror the device's internal
+// operation kinds.
+type OpKind uint8
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpCopyBack
+	OpErase
+	NumOpKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCopyBack:
+		return "copyback"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Cause labels who initiated a flash operation. Values mirror flash.Cause
+// (host, gc, map); the flash package asserts the correspondence in its tests.
+type Cause uint8
+
+const (
+	CauseHost Cause = iota
+	CauseGC
+	CauseMap
+	NumCauses
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseHost:
+		return "host"
+	case CauseGC:
+		return "gc"
+	case CauseMap:
+		return "map"
+	default:
+		return fmt.Sprintf("Cause(%d)", uint8(c))
+	}
+}
+
+// Op describes one scheduled flash operation: what it was, where it ran, and
+// the three timestamps that decompose its latency into queueing and service.
+type Op struct {
+	Kind  OpKind
+	Cause Cause
+	// Stored is the page content tag: the LPN for data pages, an encoded
+	// translation-page number for mapping traffic, or the block index for
+	// erases.
+	Stored  int64
+	Plane   int32
+	Channel int32
+	Ready   sim.Time // when the operation became serviceable
+	Start   sim.Time // when the hardware began serving it
+	End     sim.Time // completion
+}
+
+// QueueTime returns how long the operation waited for its resources.
+func (o Op) QueueTime() sim.Duration { return o.Start.Sub(o.Ready) }
+
+// ServiceTime returns how long the hardware spent on the operation.
+func (o Op) ServiceTime() sim.Duration { return o.End.Sub(o.Start) }
+
+// Latency returns the operation's total ready-to-completion latency.
+func (o Op) Latency() sim.Duration { return o.End.Sub(o.Ready) }
+
+// EventKind names an instantaneous occurrence worth counting.
+type EventKind uint8
+
+const (
+	EvCMTHit EventKind = iota
+	EvCMTMiss
+	EvCMTEvict
+	EvCMTWriteback
+	EvParityWaste
+	EvSwitchMerge
+	EvPartialMerge
+	EvFullMerge
+	NumEventKinds
+)
+
+func (e EventKind) String() string {
+	switch e {
+	case EvCMTHit:
+		return "cmt.hit"
+	case EvCMTMiss:
+		return "cmt.miss"
+	case EvCMTEvict:
+		return "cmt.evict"
+	case EvCMTWriteback:
+		return "cmt.writeback"
+	case EvParityWaste:
+		return "gc.parity_waste"
+	case EvSwitchMerge:
+		return "merge.switch"
+	case EvPartialMerge:
+		return "merge.partial"
+	case EvFullMerge:
+		return "merge.full"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(e))
+	}
+}
+
+// SpanKind names an interval of FTL activity.
+type SpanKind uint8
+
+const (
+	SpanGC SpanKind = iota
+	SpanMerge
+	NumSpanKinds
+)
+
+func (s SpanKind) String() string {
+	switch s {
+	case SpanGC:
+		return "gc"
+	case SpanMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("SpanKind(%d)", uint8(s))
+	}
+}
+
+// Recorder receives the simulator's observability stream. Implementations
+// must tolerate out-of-order timestamps within a scheduling window (resource
+// backfill places operations into past gaps). The zero-cost disabled state is
+// a nil Recorder at every hook site.
+type Recorder interface {
+	// RecordOp records one completed flash operation.
+	RecordOp(op Op)
+	// RecordEvent records an instantaneous occurrence at a simulated time.
+	RecordEvent(kind EventKind, at sim.Time)
+	// RecordSpan records an interval of FTL activity on one plane, e.g. a
+	// garbage collection or a log-block merge.
+	RecordSpan(kind SpanKind, plane int32, start, end sim.Time)
+	// RecordRequest records one completed host request.
+	RecordRequest(read bool, arrival, done sim.Time)
+}
+
+// UtilizationSource reports cumulative busy time per plane, chip serial bus,
+// and channel; the device provides it and the Collector samples it when the
+// run closes.
+type UtilizationSource func() (planes, chipBus, channels []sim.Duration)

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"dloop/internal/sim"
+)
+
+// traceEvent is one buffered Chrome trace event. Durations and timestamps
+// are kept in simulated nanoseconds and converted to the format's
+// microseconds at write time.
+type traceEvent struct {
+	name     string
+	pid, tid int32
+	start    sim.Time
+	dur      sim.Duration
+	stored   int64
+}
+
+// TraceWriter buffers flash operations and FTL spans and writes them as a
+// Chrome trace-event JSON document ("JSON Array Format") that chrome://tracing
+// and https://ui.perfetto.dev open directly. The track layout maps hardware to
+// the viewer's process/thread hierarchy: pid = channel (plus one synthetic
+// "host" process for request spans), tid = plane. Events are sorted by
+// timestamp at flush so the emitted stream is monotonic.
+//
+// The buffer is capped: once limit events are held, further events are
+// dropped and counted (the count is exported as the trace.dropped metric and
+// recorded in the document itself), so a full-scale multi-million-request run
+// cannot exhaust memory.
+type TraceWriter struct {
+	w       io.Writer
+	limit   int
+	events  []traceEvent
+	dropped int64
+
+	channels       int
+	channelOfPlane []int32
+}
+
+// DefaultTraceLimit bounds buffered trace events when Options.TraceLimit is 0.
+const DefaultTraceLimit = 1 << 20
+
+// hostPID is the synthetic process id request spans render under: one past
+// the last channel.
+func (t *TraceWriter) hostPID() int32 { return int32(t.channels) }
+
+func newTraceWriter(w io.Writer, limit, channels int, channelOfPlane []int32) *TraceWriter {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &TraceWriter{w: w, limit: limit, channels: channels, channelOfPlane: channelOfPlane}
+}
+
+func (t *TraceWriter) add(ev traceEvent) {
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Dropped returns how many events the buffer cap discarded.
+func (t *TraceWriter) Dropped() int64 { return t.dropped }
+
+// Flush sorts the buffered events by timestamp and writes the complete JSON
+// document.
+func (t *TraceWriter) Flush() error {
+	sort.SliceStable(t.events, func(i, j int) bool { return t.events[i].start < t.events[j].start })
+	bw := bufio.NewWriterSize(t.w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%d},\"traceEvents\":[\n", t.dropped); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	// Metadata: name the process/thread tracks after the hardware they carry.
+	for ch := 0; ch < t.channels; ch++ {
+		emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"channel%d\"}}", ch, ch)
+	}
+	emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"host\"}}", t.hostPID())
+	for plane, ch := range t.channelOfPlane {
+		emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"plane%d\"}}", ch, plane, plane)
+	}
+	for _, ev := range t.events {
+		// ts/dur are microseconds in the trace-event format.
+		emit("{\"name\":%q,\"cat\":\"flash\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"stored\":%d}}",
+			ev.name, sim.Duration(ev.start).Microseconds(), ev.dur.Microseconds(), ev.pid, ev.tid, ev.stored)
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// opNames caches the "kind/cause" labels so the per-op path does not
+// concatenate strings.
+var opNames = func() (names [NumOpKinds][NumCauses]string) {
+	for k := OpKind(0); k < NumOpKinds; k++ {
+		for c := Cause(0); c < NumCauses; c++ {
+			names[k][c] = k.String() + "/" + c.String()
+		}
+	}
+	return
+}()
+
+// OpLog streams one JSON line per flash operation: kind, cause, stored tag,
+// plane, channel, and the ready/start/end timestamps in nanoseconds.
+type OpLog struct {
+	bw  *bufio.Writer
+	err error
+}
+
+func newOpLog(w io.Writer) *OpLog {
+	return &OpLog{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (l *OpLog) record(op Op) {
+	if l.err != nil {
+		return
+	}
+	_, l.err = fmt.Fprintf(l.bw,
+		"{\"kind\":%q,\"cause\":%q,\"stored\":%d,\"plane\":%d,\"channel\":%d,\"ready_ns\":%d,\"start_ns\":%d,\"end_ns\":%d}\n",
+		op.Kind.String(), op.Cause.String(), op.Stored, op.Plane, op.Channel,
+		int64(op.Ready), int64(op.Start), int64(op.End))
+}
+
+// Flush drains the buffer and returns the first write error encountered.
+func (l *OpLog) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	return l.bw.Flush()
+}

@@ -19,6 +19,15 @@ type Event struct {
 // Fire invokes the event's callback with its stored arguments.
 func (e Event) Fire() { e.Fn(e.At, e.A0, e.A1) }
 
+// QueueObserver receives event-queue activity for observability: one call per
+// scheduled event and one per fired event, each with the current queue depth.
+// The sim package defines the interface (rather than depending on a concrete
+// collector) so the dependency points outward; obs.Collector implements it.
+type QueueObserver interface {
+	EventScheduled(at Time, queued int)
+	EventFired(at Time, queued int)
+}
+
 // EventQueue is a time-ordered queue of events. Events with equal timestamps
 // fire in insertion order, which keeps trace replay deterministic.
 //
@@ -31,7 +40,12 @@ type EventQueue struct {
 	free []int32 // recycled slots
 	heap []int32 // handles ordered by (At, seq)
 	seq  int64
+	obs  QueueObserver
 }
+
+// SetObserver attaches (or, with nil, detaches) a QueueObserver. The disabled
+// path costs one nil check per schedule/fire.
+func (q *EventQueue) SetObserver(o QueueObserver) { q.obs = o }
 
 // NewEventQueue returns an empty queue.
 func NewEventQueue() *EventQueue {
@@ -64,6 +78,9 @@ func (q *EventQueue) ScheduleOp(at Time, fn OpFunc, a0, a1 int64) {
 	q.slab[h] = Event{At: at, Fn: fn, A0: a0, A1: a1, seq: q.seq}
 	q.heap = append(q.heap, h)
 	q.siftUp(len(q.heap) - 1)
+	if q.obs != nil {
+		q.obs.EventScheduled(at, len(q.heap))
+	}
 }
 
 // Next removes and returns the earliest event. ok is false if the queue is
@@ -82,6 +99,9 @@ func (q *EventQueue) Next() (ev Event, ok bool) {
 	ev = q.slab[h]
 	q.slab[h].Fn = nil // drop the callback reference for the GC
 	q.free = append(q.free, h)
+	if q.obs != nil {
+		q.obs.EventFired(ev.At, len(q.heap))
+	}
 	return ev, true
 }
 

@@ -202,6 +202,38 @@ func TestEventQueueOpDescriptor(t *testing.T) {
 	}
 }
 
+// queueSpy records QueueObserver callbacks with the depths they reported.
+type queueSpy struct {
+	scheduled, fired []int
+}
+
+func (s *queueSpy) EventScheduled(at Time, queued int) { s.scheduled = append(s.scheduled, queued) }
+func (s *queueSpy) EventFired(at Time, queued int)     { s.fired = append(s.fired, queued) }
+
+func TestEventQueueObserver(t *testing.T) {
+	q := NewEventQueue()
+	spy := &queueSpy{}
+	q.SetObserver(spy)
+	noop := func(Time, int64, int64) {}
+	q.ScheduleOp(10, noop, 0, 0)
+	q.ScheduleOp(5, noop, 0, 0)
+	q.RunAll()
+	// Depth after each schedule: 1 then 2; after each fire: 1 then 0.
+	if len(spy.scheduled) != 2 || spy.scheduled[0] != 1 || spy.scheduled[1] != 2 {
+		t.Errorf("scheduled depths %v, want [1 2]", spy.scheduled)
+	}
+	if len(spy.fired) != 2 || spy.fired[0] != 1 || spy.fired[1] != 0 {
+		t.Errorf("fired depths %v, want [1 0]", spy.fired)
+	}
+	// Detach: further activity must not reach the observer.
+	q.SetObserver(nil)
+	q.ScheduleOp(20, noop, 0, 0)
+	q.RunAll()
+	if len(spy.scheduled) != 2 || len(spy.fired) != 2 {
+		t.Error("detached observer still received callbacks")
+	}
+}
+
 // TestEventQueueSteadyStateAllocs verifies the tentpole property: once the
 // pool reaches its high-water mark, scheduling and firing allocate nothing.
 func TestEventQueueSteadyStateAllocs(t *testing.T) {

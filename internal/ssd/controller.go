@@ -12,6 +12,7 @@ import (
 	"dloop/internal/ftl/dloop"
 	"dloop/internal/ftl/fast"
 	"dloop/internal/ftl/pagemap"
+	"dloop/internal/obs"
 	"dloop/internal/sim"
 	"dloop/internal/stats"
 	"dloop/internal/trace"
@@ -39,6 +40,8 @@ type Controller struct {
 	served    int64
 	pagesRead int64
 	pagesWrit int64
+
+	rec obs.Recorder // nil when observability is disabled
 }
 
 func newController(dev *flash.Device, f ftl.FTL, cfg Config) *Controller {
@@ -77,6 +80,36 @@ func (c *Controller) FTL() ftl.FTL { return c.f }
 
 // Config returns the configuration the controller was built with.
 func (c *Controller) Config() Config { return c.cfg }
+
+// ObsOptions returns a collector configuration matched to this SSD: the FTL
+// name and the device's plane/channel shape. Callers add sinks and the
+// snapshot interval before obs.NewCollector.
+func (c *Controller) ObsOptions() obs.Options {
+	geo := c.dev.Geometry()
+	return obs.Options{
+		FTL:            c.f.Name(),
+		Planes:         geo.Planes(),
+		Channels:       geo.Channels,
+		ChannelOfPlane: c.dev.ChannelOfPlane(),
+	}
+}
+
+// SetRecorder attaches (or, with nil, detaches) an observability recorder to
+// the whole stack: host-request completions here, flash operations at the
+// device, and GC/merge/CMT activity at the FTL (via ftl.Observable). When
+// the recorder is an *obs.Collector it is also wired to sample the device's
+// busy-time utilization at Close. Attach after preconditioning so the stream
+// covers exactly the measured window.
+func (c *Controller) SetRecorder(r obs.Recorder) {
+	c.rec = r
+	c.dev.SetRecorder(r)
+	if o, ok := c.f.(ftl.Observable); ok {
+		o.SetRecorder(r)
+	}
+	if col, ok := r.(*obs.Collector); ok && col != nil {
+		col.SetUtilizationSource(c.dev.BusyTimes)
+	}
+}
 
 // pageSpan returns the logical pages touched by a sector range.
 func (c *Controller) pageSpan(r trace.Request) (first, last ftl.LPN) {
@@ -183,6 +216,9 @@ func (c *Controller) Serve(r trace.Request) (sim.Duration, error) {
 		c.lastDone = done
 	}
 	c.served++
+	if c.rec != nil {
+		c.rec.RecordRequest(r.Op == trace.OpRead, r.Arrival, done)
+	}
 	return rt, nil
 }
 

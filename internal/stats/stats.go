@@ -13,6 +13,12 @@ import (
 )
 
 // Welford accumulates a streaming mean and variance without storing samples.
+//
+// Variance convention: Var/StdDev divide by n (population variance), treating
+// the run's samples as the complete population — the convention the paper's
+// SDRPP metric and response-time tables use. SampleVar divides by n-1
+// (Bessel's correction) for callers estimating the variance of a larger
+// population from a sample.
 type Welford struct {
 	n        int64
 	mean, m2 float64
@@ -43,7 +49,8 @@ func (w *Welford) N() int64 { return w.n }
 // Mean returns the sample mean, or 0 with no samples.
 func (w *Welford) Mean() float64 { return w.mean }
 
-// Var returns the population variance, or 0 with fewer than two samples.
+// Var returns the population variance (m2/n), or 0 with fewer than two
+// samples.
 func (w *Welford) Var() float64 {
 	if w.n < 2 {
 		return 0
@@ -51,21 +58,33 @@ func (w *Welford) Var() float64 {
 	return w.m2 / float64(w.n)
 }
 
+// SampleVar returns the unbiased sample variance (m2/(n-1), Bessel's
+// correction), or 0 with fewer than two samples.
+func (w *Welford) SampleVar() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
 // StdDev returns the population standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
 
-// Min returns the smallest sample, or 0 with no samples.
+// Min returns the smallest sample, or NaN with no samples. NaN, not 0: an
+// accumulator that saw nothing has no minimum, and a silent 0 would read as
+// "some request finished instantly" in a min-latency report. JSON emitters
+// must sanitize it (encoding/json rejects NaN).
 func (w *Welford) Min() float64 {
 	if w.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return w.min
 }
 
-// Max returns the largest sample, or 0 with no samples.
+// Max returns the largest sample, or NaN with no samples (see Min).
 func (w *Welford) Max() float64 {
 	if w.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return w.max
 }

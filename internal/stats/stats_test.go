@@ -32,12 +32,34 @@ func TestWelfordKnownValues(t *testing.T) {
 
 func TestWelfordEmptyAndSingle(t *testing.T) {
 	var w Welford
-	if w.Mean() != 0 || w.StdDev() != 0 || w.Min() != 0 || w.Max() != 0 {
-		t.Error("empty accumulator should report zeros")
+	if w.Mean() != 0 || w.StdDev() != 0 {
+		t.Error("empty accumulator should report zero mean/stddev")
+	}
+	// An empty accumulator has no extremes: 0 would masquerade as a real
+	// zero-latency sample, so Min/Max report NaN instead.
+	if !math.IsNaN(w.Min()) || !math.IsNaN(w.Max()) {
+		t.Errorf("empty min/max = %v/%v, want NaN", w.Min(), w.Max())
 	}
 	w.Add(3)
-	if w.Mean() != 3 || w.Var() != 0 || w.Min() != 3 || w.Max() != 3 {
+	if w.Mean() != 3 || w.Var() != 0 || w.SampleVar() != 0 || w.Min() != 3 || w.Max() != 3 {
 		t.Error("single sample")
+	}
+}
+
+func TestWelfordSampleVar(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	// m2 = 32 over 8 samples: population variance 4, sample variance 32/7.
+	if got := w.Var(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Var = %v, want 4", got)
+	}
+	if got := w.SampleVar(); math.Abs(got-32.0/7.0) > 1e-9 {
+		t.Errorf("SampleVar = %v, want %v", got, 32.0/7.0)
+	}
+	if w.SampleVar() <= w.Var() {
+		t.Error("Bessel's correction must make SampleVar exceed Var for n > 1")
 	}
 }
 
@@ -151,6 +173,42 @@ func TestLatencyHistEdgeCases(t *testing.T) {
 	}
 }
 
+// Quantiles at the extremes of q, and with all mass in one bucket, must
+// behave: p100 of a single-bucket histogram is that bucket, and q <= 0
+// clamps to the first occupied bucket instead of indexing before it.
+func TestLatencyHistPercentileEdges(t *testing.T) {
+	var empty LatencyHist
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	var single LatencyHist
+	d := 100 * sim.Microsecond
+	for i := 0; i < 50; i++ {
+		single.Add(d)
+	}
+	lo, hi := single.Quantile(0), single.Quantile(1)
+	if lo != hi {
+		t.Errorf("single-bucket p0 %v != p100 %v", lo, hi)
+	}
+	// The reported value is the bucket's lower bound: within ~26% below d.
+	if hi > d || float64(hi) < float64(d)/1.27 {
+		t.Errorf("single-bucket quantile %v outside bucket containing %v", hi, d)
+	}
+
+	var h LatencyHist
+	h.Add(1 * sim.Microsecond)
+	h.Add(1 * sim.Millisecond)
+	if p0, p100 := h.Quantile(0), h.Quantile(1); p0 >= p100 {
+		t.Errorf("p0 %v should be below p100 %v", p0, p100)
+	}
+	if h.Quantile(0) != h.Quantile(0.5) {
+		t.Error("with two samples, p0 and p50 land in the first bucket")
+	}
+}
+
 func TestStdDevInt64(t *testing.T) {
 	if got := StdDevInt64(nil); got != 0 {
 		t.Errorf("empty: %v", got)
@@ -176,6 +234,25 @@ func TestSDRPP(t *testing.T) {
 	// ln of the stddev: stddev of {1000000,0,0,0} is 433012.7
 	if math.Abs(uneven-math.Log(433012.70189)) > 1e-3 {
 		t.Errorf("uneven = %v", uneven)
+	}
+}
+
+// Golden value pinning the log convention: the paper plots SDRPP "on log
+// scale (base e)", so the metric is ln(stddev), not log10 or log2. Per-plane
+// counts {10,20,30,40} have population stddev sqrt(125); a base change would
+// shift the result by >0.7 and fail loudly.
+func TestSDRPPGoldenNaturalLog(t *testing.T) {
+	got := SDRPP([]int64{10, 20, 30, 40})
+	want := 2.4141568686511508 // ln(sqrt(125))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SDRPP = %.16f, want ln(sqrt(125)) = %.16f", got, want)
+	}
+	if math.Abs(got-math.Log10(math.Sqrt(125))) < 0.5 {
+		t.Error("SDRPP is using log10, want natural log")
+	}
+	// Below the sd<1 clamp threshold the metric is exactly 0, never negative.
+	if got := SDRPP([]int64{5, 5, 5, 6}); got != 0 {
+		t.Errorf("sub-threshold SDRPP = %v, want clamp to 0", got)
 	}
 }
 

@@ -13,7 +13,7 @@ func BenchmarkGenerator(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
-	b.ResetTimer()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := g.Next(); err != nil {
 					b.Fatal(err)
