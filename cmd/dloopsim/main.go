@@ -176,25 +176,13 @@ func (ob *observer) finish() error {
 }
 
 func replayFile(cfg dloop.Config, path, format string, footprintMiB int64, ob *observer) (dloop.Result, error) {
-	f, err := os.Open(path)
+	// LoadArena parses the file once into a shared columnar arena; repeated
+	// replays of the same file (and the stats summary below) reuse it.
+	arena, err := trace.LoadArena(path, format)
 	if err != nil {
 		return dloop.Result{}, err
 	}
-	defer f.Close()
-	var r trace.Reader
-	switch format {
-	case "disksim":
-		r = trace.NewDiskSimReader(f)
-	case "spc":
-		r = trace.NewSPCReader(f)
-	default:
-		return dloop.Result{}, fmt.Errorf("unknown format %q", format)
-	}
-	reqs, err := trace.ReadAll(r)
-	if err != nil {
-		return dloop.Result{}, err
-	}
-	st := trace.Summarize(reqs)
+	st := arena.Stats()
 	fmt.Printf("trace: %s\n", st)
 
 	c, err := ssd.Build(cfg)
@@ -211,7 +199,7 @@ func replayFile(cfg dloop.Config, path, format string, footprintMiB int64, ob *o
 	if rec := ob.attach(c); rec != nil {
 		c.SetRecorder(rec)
 	}
-	return c.Run(trace.NewSliceReader(reqs))
+	return c.Run(arena.Cursor())
 }
 
 func report(res dloop.Result, wall time.Duration) {

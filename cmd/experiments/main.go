@@ -34,6 +34,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = NumCPU)")
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
+		noFork   = flag.Bool("no-fork", false, "disable warm-up checkpoint sharing; every cell builds and preconditions its own simulator")
 
 		metricsOut  = flag.String("metrics-out", "", "directory receiving one metrics.json per run")
 		traceEvents = flag.String("trace-events", "", "directory receiving one Chrome trace-event document per run")
@@ -59,6 +60,7 @@ func main() {
 	opt := dloop.Options{
 		Requests: *requests, Seed: *seed, Scale: *scale, Workers: *workers,
 		MetricsDir: *metricsOut, TraceDir: *traceEvents, SnapshotIntervalMs: *snapshotMs,
+		NoFork: *noFork,
 	}
 	if !*quiet {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }

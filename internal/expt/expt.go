@@ -19,7 +19,6 @@ import (
 	"dloop/internal/obs"
 	"dloop/internal/sim"
 	"dloop/internal/ssd"
-	"dloop/internal/trace"
 	"dloop/internal/workload"
 )
 
@@ -49,6 +48,12 @@ type Options struct {
 	// SnapshotIntervalMs, when > 0, adds SDRPP/utilization/throughput time
 	// series to each run's metrics, sampled every N simulated milliseconds.
 	SnapshotIntervalMs int
+
+	// NoFork disables warm-up sharing: every sweep cell builds and
+	// preconditions its own simulator instead of forking a checkpoint taken
+	// after one shared warm-up. Forked and fresh runs are bit-identical, so
+	// this exists only for debugging and for A/B-ing the optimisation itself.
+	NoFork bool
 }
 
 // observes reports whether any observability output is requested.
@@ -92,48 +97,56 @@ func Run(cfg ssd.Config, profile workload.Profile, requests int, seed int64) (ss
 // returns is wired through the whole stack. attach may be nil.
 func RunObserved(cfg ssd.Config, profile workload.Profile, requests int, seed int64,
 	attach func(*ssd.Controller) obs.Recorder) (ssd.Result, error) {
-	c, err := ssd.Build(cfg)
-	if err != nil {
-		return ssd.Result{}, fmt.Errorf("expt: build %s: %w", cfg.FTL, err)
-	}
-	if err := c.PreconditionBytes(profile.FootprintBytes); err != nil {
-		return ssd.Result{}, fmt.Errorf("expt: precondition %s/%s: %w", cfg.FTL, profile.Name, err)
-	}
-	if attach != nil {
-		if rec := attach(c); rec != nil {
-			c.SetRecorder(rec)
-		}
-	}
-	gen, err := workload.NewGenerator(profile, seed)
+	c, err := buildWarm(cfg, profile)
 	if err != nil {
 		return ssd.Result{}, err
 	}
-	// Replay in chunks through one reusable buffer: the generator amortizes
-	// its call overhead and the serve loop stays tight.
-	buf := make([]trace.Request, replayChunk)
-	for served := 0; served < requests; {
-		want := requests - served
-		if want > len(buf) {
-			want = len(buf)
+	return resumeObserved(c, cfg, profile, requests, seed, attach)
+}
+
+// buildWarm builds the SSD and preconditions the workload's footprint — the
+// warm-up prefix that every cell of a (config, footprint) group shares.
+func buildWarm(cfg ssd.Config, profile workload.Profile) (*ssd.Controller, error) {
+	c, err := ssd.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("expt: build %s: %w", cfg.FTL, err)
+	}
+	if err := c.PreconditionBytes(profile.FootprintBytes); err != nil {
+		return nil, fmt.Errorf("expt: precondition %s/%s: %w", cfg.FTL, profile.Name, err)
+	}
+	return c, nil
+}
+
+// resumeObserved replays the measured window on an already warmed controller.
+// The request stream comes from the shared columnar arena for (profile, seed)
+// — generated once per process, replayed read-only through a private cursor —
+// so concurrent cells serving the same stream never regenerate it. Any
+// recorder the attach hook wires up is detached again before returning, which
+// lets the fork path restore and reuse the controller for the next cell.
+func resumeObserved(c *ssd.Controller, cfg ssd.Config, profile workload.Profile, requests int, seed int64,
+	attach func(*ssd.Controller) obs.Recorder) (ssd.Result, error) {
+	if attach != nil {
+		if rec := attach(c); rec != nil {
+			c.SetRecorder(rec)
+			defer c.SetRecorder(nil)
 		}
-		n, err := gen.NextN(buf[:want])
+	}
+	arena, err := workload.MaterializeArena(profile, seed, requests)
+	if err != nil {
+		return ssd.Result{}, err
+	}
+	cur := arena.Cursor()
+	for i := 0; i < requests; i++ {
+		req, err := cur.Next()
 		if err != nil {
 			return ssd.Result{}, err
 		}
-		for i := 0; i < n; i++ {
-			if _, err := c.Serve(buf[i]); err != nil {
-				return ssd.Result{}, fmt.Errorf("expt: %s/%s request %d: %w", cfg.FTL, profile.Name, served+i, err)
-			}
+		if _, err := c.Serve(req); err != nil {
+			return ssd.Result{}, fmt.Errorf("expt: %s/%s request %d: %w", cfg.FTL, profile.Name, i, err)
 		}
-		served += n
 	}
 	return c.Result(), nil
 }
-
-// replayChunk is the number of requests generated per NextN batch during
-// replay. Large enough to amortize call overhead, small enough that the
-// buffer stays cache-resident.
-const replayChunk = 4096
 
 // job is one (config, workload) cell of a sweep.
 type job struct {
@@ -142,6 +155,17 @@ type job struct {
 	x       string
 	cfg     ssd.Config
 	profile workload.Profile
+	// seed, when non-zero, overrides Options.Seed for this cell. Replication
+	// sweeps use it to fan several request streams out of one shared warm-up.
+	seed int64
+}
+
+// effSeed resolves the cell's workload seed.
+func (j job) effSeed(opt Options) int64 {
+	if j.seed != 0 {
+		return j.seed
+	}
+	return opt.Seed
 }
 
 // sanitizeKey turns a job key into a safe file-name stem.
@@ -157,12 +181,27 @@ func sanitizeKey(key string) string {
 	}, key)
 }
 
-// runJob executes one sweep cell. When the options request observability
-// output it attaches a collector per run and writes the run's metrics.json
-// (and optionally its trace-event document) named after the job key.
+// runJob executes one sweep cell from scratch: own build, own warm-up.
 func runJob(j job, opt Options) (ssd.Result, error) {
+	return runCell(j, opt, nil)
+}
+
+// runCell executes one sweep cell. When warmed is non-nil it is a controller
+// already holding the cell's shared warm-up state (the fork path) and only
+// the measured window runs; otherwise the cell builds and preconditions its
+// own. When the options request observability output it attaches a collector
+// per cell and writes the cell's metrics.json (and optionally its trace-event
+// document) named after the job key.
+func runCell(j job, opt Options, warmed *ssd.Controller) (ssd.Result, error) {
+	seed := j.effSeed(opt)
+	exec := func(attach func(*ssd.Controller) obs.Recorder) (ssd.Result, error) {
+		if warmed != nil {
+			return resumeObserved(warmed, j.cfg, j.profile, opt.Requests, seed, attach)
+		}
+		return RunObserved(j.cfg, j.profile, opt.Requests, seed, attach)
+	}
 	if !opt.observes() {
-		return Run(j.cfg, j.profile, opt.Requests, opt.Seed)
+		return exec(nil)
 	}
 	var tf *os.File
 	if opt.TraceDir != "" {
@@ -177,7 +216,7 @@ func runJob(j job, opt Options) (ssd.Result, error) {
 		defer tf.Close()
 	}
 	var col *obs.Collector
-	res, err := RunObserved(j.cfg, j.profile, opt.Requests, opt.Seed, func(c *ssd.Controller) obs.Recorder {
+	res, err := exec(func(c *ssd.Controller) obs.Recorder {
 		o := c.ObsOptions()
 		if tf != nil {
 			o.TraceEvents = tf
@@ -213,50 +252,76 @@ func runJob(j job, opt Options) (ssd.Result, error) {
 
 // runAll executes jobs on a bounded worker pool: exactly opt.Workers
 // goroutines pull from a shared channel, so a 60-cell sweep does not spawn 60
-// goroutines (each Run pins megabytes of simulator state). After the first
-// failure the remaining queue drains without running.
+// goroutines (each run pins megabytes of simulator state). Jobs sharing a
+// (config, footprint) warm-up prefix are grouped; a group simulates the
+// warm-up once, checkpoints it, and forks each cell from the checkpoint
+// (see runGroup). Completed cells stream their Result to a single aggregator
+// goroutine immediately, so no worker holds simulator state while waiting for
+// the sweep to end. After the first failure the remaining queue drains
+// without running.
 func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 	opt.setDefaults()
+	groups := groupJobs(jobs, opt)
+
+	// Streaming aggregation: cells publish results as they finish.
+	type keyed struct {
+		key string
+		res ssd.Result
+	}
+	resCh := make(chan keyed, opt.Workers)
 	results := make(map[string]ssd.Result, len(jobs))
+	aggDone := make(chan struct{})
+	go func() {
+		defer close(aggDone)
+		for r := range resCh {
+			results[r.key] = r.res
+		}
+	}()
+
 	var mu sync.Mutex
 	var firstErr error
-	ch := make(chan job)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	stopped := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	emit := func(j job, res ssd.Result) {
+		resCh <- keyed{key: j.key, res: res}
+		opt.progress("done %-28s mean=%8.3f ms  sdrpp=%5.2f  gc=%d", j.key, res.MeanRespMs, res.SDRPP, res.GCRuns)
+	}
+
+	ch := make(chan []job)
 	var wg sync.WaitGroup
 	workers := opt.Workers
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range ch {
-				mu.Lock()
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
+			for g := range ch {
+				if stopped() {
 					continue // drain the queue without running
 				}
-				res, err := runJob(j, opt)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				results[j.key] = res
-				mu.Unlock()
-				opt.progress("done %-28s mean=%8.3f ms  sdrpp=%5.2f  gc=%d", j.key, res.MeanRespMs, res.SDRPP, res.GCRuns)
+				runGroup(g, opt, emit, fail, stopped)
 			}
 		}()
 	}
-	for _, j := range jobs {
-		ch <- j
+	for _, g := range groups {
+		ch <- g
 	}
 	close(ch)
 	wg.Wait()
+	close(resCh)
+	<-aggDone
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"fmt"
+
+	"dloop/internal/ssd"
+)
+
+// warmupKey identifies the warm-up prefix a cell shares with others: the full
+// simulator configuration plus the preconditioned footprint. Cells with equal
+// keys reach bit-identical simulator states after warm-up, so one checkpoint
+// can seed them all. Geometry and Timing are compared by value, not by
+// pointer, so two configs built independently still coalesce.
+func warmupKey(j job) string {
+	cfg := j.cfg
+	var geo, tim string
+	if cfg.Geometry != nil {
+		geo = fmt.Sprintf("%+v", *cfg.Geometry)
+	}
+	if cfg.Timing != nil {
+		tim = fmt.Sprintf("%+v", *cfg.Timing)
+	}
+	cfg.Geometry, cfg.Timing = nil, nil
+	return fmt.Sprintf("%+v|%s|%s|%d", cfg, geo, tim, j.profile.FootprintBytes)
+}
+
+// groupJobs partitions a sweep into warm-up groups, preserving submission
+// order within each group. With NoFork every job is its own group.
+func groupJobs(jobs []job, opt Options) [][]job {
+	if opt.NoFork {
+		out := make([][]job, len(jobs))
+		for i, j := range jobs {
+			out[i] = []job{j}
+		}
+		return out
+	}
+	idx := make(map[string]int)
+	var out [][]job
+	for _, j := range jobs {
+		k := warmupKey(j)
+		if i, ok := idx[k]; ok {
+			out[i] = append(out[i], j)
+		} else {
+			idx[k] = len(out)
+			out = append(out, []job{j})
+		}
+	}
+	return out
+}
+
+// runGroup executes one warm-up group on the calling worker goroutine. A
+// singleton group runs as a plain fresh cell. A larger group builds and
+// preconditions one simulator, checkpoints it, runs the first cell directly
+// off the warm state, and restores the checkpoint before each further cell —
+// the warm-up is simulated once instead of len(g) times, and every fork is
+// bit-identical to a fresh run (see TestForkMatchesNoFork and the ssd
+// package's TestForkBitIdentical). Results stream out through emit as each
+// cell completes; nothing is retained here. If the FTL cannot checkpoint,
+// the group degrades to per-cell fresh runs.
+func runGroup(g []job, opt Options, emit func(job, ssd.Result), fail func(error), stopped func() bool) {
+	runFresh := func(g []job) {
+		for _, j := range g {
+			if stopped() {
+				return
+			}
+			res, err := runJob(j, opt)
+			if err != nil {
+				fail(err)
+				return
+			}
+			emit(j, res)
+		}
+	}
+	if len(g) == 1 {
+		runFresh(g)
+		return
+	}
+	c, err := buildWarm(g[0].cfg, g[0].profile)
+	if err != nil {
+		fail(err)
+		return
+	}
+	cp, err := c.Snapshot()
+	if err != nil {
+		runFresh(g) // FTL without checkpoint support
+		return
+	}
+	for i, j := range g {
+		if stopped() {
+			return
+		}
+		if i > 0 {
+			if err := c.Restore(cp); err != nil {
+				fail(fmt.Errorf("expt: restore %s/%s: %w", j.cfg.FTL, j.profile.Name, err))
+				return
+			}
+		}
+		res, err := runCell(j, opt, c)
+		if err != nil {
+			fail(err)
+			return
+		}
+		emit(j, res)
+	}
+}

@@ -1,0 +1,123 @@
+package expt
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dloop/internal/ssd"
+	"dloop/internal/workload"
+)
+
+// seedSweepJobs builds n cells that differ only in workload seed — the
+// archetypal warm-up group: one (config, footprint) prefix, n divergent
+// replays.
+func seedSweepJobs(t testing.TB, opt Options, n int) []job {
+	cfg, ok := configFor(4, 2, 0.03, ssd.SchemeDLOOP, opt)
+	if !ok {
+		t.Fatal("configFor failed")
+	}
+	p := scaleProfile(workload.Financial1(), opt.Scale)
+	jobs := make([]job, 0, n)
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, job{key: fmt.Sprintf("seed%d", i), cfg: cfg, profile: p, seed: int64(100 + i)})
+	}
+	return jobs
+}
+
+// TestForkMatchesNoFork is the sweep-level determinism gate: a forked sweep
+// (shared warm-up + checkpoint/restore) must produce exactly the result map
+// of a fresh-per-cell sweep, down to every counter.
+func TestForkMatchesNoFork(t *testing.T) {
+	opt := quickOptions()
+	opt.Requests = 600
+	jobs := seedSweepJobs(t, opt, 4)
+
+	forked, err := runAll(jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optFresh := opt
+	optFresh.NoFork = true
+	fresh, err := runAll(jobs, optFresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(forked, fresh) {
+		t.Fatalf("forked sweep diverged from fresh sweep:\nforked: %+v\nfresh:  %+v", forked, fresh)
+	}
+}
+
+// TestForkMatchesNoForkAcrossSchemes repeats the gate for every registered
+// scheme, so a broken Snapshot/Restore in any FTL fails here too, at sweep
+// granularity.
+func TestForkMatchesNoForkAcrossSchemes(t *testing.T) {
+	opt := quickOptions()
+	opt.Requests = 400
+	p := scaleProfile(workload.Financial1(), opt.Scale)
+	var jobs []job
+	for _, scheme := range ssd.Schemes() {
+		cfg, ok := configFor(4, 2, 0.03, scheme, opt)
+		if !ok {
+			t.Fatalf("configFor failed for %s", scheme)
+		}
+		for i := 0; i < 2; i++ {
+			jobs = append(jobs, job{
+				key: fmt.Sprintf("%s-seed%d", scheme, i), cfg: cfg, profile: p, seed: int64(50 + i),
+			})
+		}
+	}
+	forked, err := runAll(jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optFresh := opt
+	optFresh.NoFork = true
+	fresh, err := runAll(jobs, optFresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(forked, fresh) {
+		t.Fatalf("forked sweep diverged from fresh sweep:\nforked: %+v\nfresh:  %+v", forked, fresh)
+	}
+}
+
+func TestGroupJobs(t *testing.T) {
+	opt := quickOptions()
+	jobs := seedSweepJobs(t, opt, 3)
+	other := jobs[0]
+	other.key = "otherftl"
+	other.cfg.FTL = ssd.SchemeDFTL
+	jobs = append(jobs, other)
+
+	groups := groupJobs(jobs, opt)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(groups), groups)
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 1 {
+		t.Fatalf("group sizes %d/%d, want 3/1", len(groups[0]), len(groups[1]))
+	}
+
+	opt.NoFork = true
+	if groups := groupJobs(jobs, opt); len(groups) != len(jobs) {
+		t.Fatalf("NoFork: got %d groups, want %d", len(groups), len(jobs))
+	}
+}
+
+// benchSweep measures a 4-cell seed-replication sweep — same config, same
+// footprint, four seeds — with and without warm-up sharing. One worker, so
+// the numbers compare total simulated work, not scheduling luck.
+func benchSweep(b *testing.B, noFork bool) {
+	opt := Options{Requests: 400, Scale: 0.02, Seed: 7, Workers: 1, NoFork: noFork}
+	jobs := seedSweepJobs(b, opt, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runAll(jobs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepWarmupShared(b *testing.B) { benchSweep(b, false) }
+func BenchmarkSweepWarmupFresh(b *testing.B)  { benchSweep(b, true) }

@@ -192,6 +192,62 @@ func (d *Device) ResetStats() {
 	d.stats.BlockErases = erases
 }
 
+// DeviceState is an opaque deep copy of a device's mutable state — page
+// states, block bookkeeping, resource timelines, statistics — taken by
+// Snapshot and reapplied by Restore. It shares nothing with the live device,
+// so one snapshot can fork any number of runs.
+type DeviceState struct {
+	state    []PageState
+	lpns     []int64
+	blocks   []BlockInfo
+	planes   []sim.ResourceState
+	chipBus  []sim.ResourceState
+	channels []sim.ResourceState
+	stats    Stats
+}
+
+// Snapshot captures the device's complete mutable state.
+func (d *Device) Snapshot() *DeviceState {
+	s := &DeviceState{
+		state:    append([]PageState(nil), d.state...),
+		lpns:     append([]int64(nil), d.lpns...),
+		blocks:   append([]BlockInfo(nil), d.blocks...),
+		planes:   make([]sim.ResourceState, len(d.planes)),
+		chipBus:  make([]sim.ResourceState, len(d.chipBus)),
+		channels: make([]sim.ResourceState, len(d.channels)),
+		stats:    d.stats.snapshot(),
+	}
+	for i, r := range d.planes {
+		s.planes[i] = r.Snapshot()
+	}
+	for i, r := range d.chipBus {
+		s.chipBus[i] = r.Snapshot()
+	}
+	for i, r := range d.channels {
+		s.channels[i] = r.Snapshot()
+	}
+	return s
+}
+
+// Restore rewinds the device to a snapshot taken from the same geometry.
+// Existing slices are reused, so restoring does not grow the heap; the
+// snapshot is untouched and may be restored again.
+func (d *Device) Restore(s *DeviceState) {
+	copy(d.state, s.state)
+	copy(d.lpns, s.lpns)
+	copy(d.blocks, s.blocks)
+	for i, r := range d.planes {
+		r.Restore(s.planes[i])
+	}
+	for i, r := range d.chipBus {
+		r.Restore(s.chipBus[i])
+	}
+	for i, r := range d.channels {
+		r.Restore(s.channels[i])
+	}
+	d.stats.restoreFrom(s.stats)
+}
+
 // PageState returns the state of a physical page.
 func (d *Device) PageState(ppn PPN) PageState { return d.state[ppn] }
 

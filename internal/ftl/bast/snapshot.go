@@ -1,0 +1,61 @@
+package bast
+
+import (
+	"fmt"
+
+	"dloop/internal/ftl"
+)
+
+// state is BAST's checkpoint. Log blocks are heap objects owned by the FTL,
+// so each one is cloned — restoring must not hand the snapshot's logBlocks
+// to the live FTL, which would let a forked run mutate the checkpoint.
+type state struct {
+	pool      ftl.FreeBlocksState
+	dataBlock []int64
+	logs      []*logBlock
+	nLogs     int
+	logOrder  []int64
+	stats     Stats
+}
+
+func cloneLog(l *logBlock) *logBlock {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.pageFor = append([]int(nil), l.pageFor...)
+	return &out
+}
+
+// Snapshot implements ftl.Snapshotter.
+func (f *BAST) Snapshot() any {
+	s := &state{
+		pool:      f.pool.Snapshot(),
+		dataBlock: append([]int64(nil), f.dataBlock...),
+		logs:      make([]*logBlock, len(f.logs)),
+		nLogs:     f.nLogs,
+		logOrder:  append([]int64(nil), f.logOrder...),
+		stats:     f.stats,
+	}
+	for i, l := range f.logs {
+		s.logs[i] = cloneLog(l)
+	}
+	return s
+}
+
+// Restore implements ftl.Snapshotter.
+func (f *BAST) Restore(snap any) error {
+	s, ok := snap.(*state)
+	if !ok {
+		return fmt.Errorf("bast: foreign snapshot %T", snap)
+	}
+	f.pool.Restore(s.pool)
+	copy(f.dataBlock, s.dataBlock)
+	for i, l := range s.logs {
+		f.logs[i] = cloneLog(l)
+	}
+	f.nLogs = s.nLogs
+	f.logOrder = append(f.logOrder[:0], s.logOrder...)
+	f.stats = s.stats
+	return nil
+}

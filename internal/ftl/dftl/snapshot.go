@@ -1,0 +1,48 @@
+package dftl
+
+import (
+	"fmt"
+
+	"dloop/internal/ftl"
+)
+
+// state is DFTL's checkpoint: the demand-paged mapping machinery plus the
+// two global write points.
+type state struct {
+	mapper  ftl.MapperState
+	pool    ftl.FreeBlocksState
+	tracker ftl.TrackerState
+	data    writePoint
+	trans   writePoint
+	gcDepth int
+	stats   Stats
+}
+
+// Snapshot implements ftl.Snapshotter.
+func (f *DFTL) Snapshot() any {
+	return &state{
+		mapper:  f.mapper.Snapshot(),
+		pool:    f.pool.Snapshot(),
+		tracker: f.tracker.Snapshot(),
+		data:    f.data,
+		trans:   f.trans,
+		gcDepth: f.gcDepth,
+		stats:   f.stats,
+	}
+}
+
+// Restore implements ftl.Snapshotter.
+func (f *DFTL) Restore(snap any) error {
+	s, ok := snap.(*state)
+	if !ok {
+		return fmt.Errorf("dftl: foreign snapshot %T", snap)
+	}
+	f.mapper.Restore(s.mapper)
+	f.pool.Restore(s.pool)
+	f.tracker.Restore(s.tracker)
+	f.data = s.data
+	f.trans = s.trans
+	f.gcDepth = s.gcDepth
+	f.stats = s.stats
+	return nil
+}

@@ -1,0 +1,55 @@
+package dloop
+
+import (
+	"fmt"
+
+	"dloop/internal/ftl"
+)
+
+// state is DLOOP's checkpoint: a deep copy of everything that changes as
+// requests are served. Geometry, config, capacity, and the striping
+// permutation are construction-time constants and stay out.
+type state struct {
+	mapper      ftl.MapperState
+	pool        ftl.FreeBlocksState
+	tracker     ftl.TrackerState
+	cur         []writePoint
+	gcDepth     int
+	collecting  []bool
+	planeWrites []int64
+	totalWrites int64
+	stats       Stats
+}
+
+// Snapshot implements ftl.Snapshotter.
+func (f *DLOOP) Snapshot() any {
+	return &state{
+		mapper:      f.mapper.Snapshot(),
+		pool:        f.pool.Snapshot(),
+		tracker:     f.tracker.Snapshot(),
+		cur:         append([]writePoint(nil), f.cur...),
+		gcDepth:     f.gcDepth,
+		collecting:  append([]bool(nil), f.collecting...),
+		planeWrites: append([]int64(nil), f.planeWrites...),
+		totalWrites: f.totalWrites,
+		stats:       f.stats,
+	}
+}
+
+// Restore implements ftl.Snapshotter.
+func (f *DLOOP) Restore(snap any) error {
+	s, ok := snap.(*state)
+	if !ok {
+		return fmt.Errorf("dloop: foreign snapshot %T", snap)
+	}
+	f.mapper.Restore(s.mapper)
+	f.pool.Restore(s.pool)
+	f.tracker.Restore(s.tracker)
+	copy(f.cur, s.cur)
+	f.gcDepth = s.gcDepth
+	copy(f.collecting, s.collecting)
+	copy(f.planeWrites, s.planeWrites)
+	f.totalWrites = s.totalWrites
+	f.stats = s.stats
+	return nil
+}

@@ -45,6 +45,21 @@ type Observable interface {
 	SetRecorder(r obs.Recorder)
 }
 
+// Snapshotter is implemented by FTLs that support deterministic
+// checkpoint/fork. Snapshot returns an opaque deep copy of every piece of
+// mutable FTL state (mapping tables, CMT, free pools, GC trackers, log-block
+// state); Restore copies a snapshot's contents back into the receiver.
+// Snapshots never alias live state, so one snapshot taken after a shared
+// warm-up can fork any number of divergent runs, each bit-identical to a
+// fresh run. All FTLs in this repository implement it.
+type Snapshotter interface {
+	// Snapshot captures the FTL's mutable state.
+	Snapshot() any
+	// Restore rewinds the FTL to a snapshot it produced earlier. It returns
+	// an error if the snapshot came from a different scheme.
+	Restore(snap any) error
+}
+
 // Stored-page tagging. The flash device records one int64 per physical page;
 // FTLs use it to remember which logical content lives there so garbage
 // collection can redirect mappings. Data pages store the LPN itself

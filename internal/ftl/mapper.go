@@ -238,6 +238,34 @@ func (m *Mapper) RedirectMoved(moved []Moved, ready sim.Time) (sim.Time, error) 
 	return ready, nil
 }
 
+// MapperState is a deep copy of a mapper's mutable state, for
+// checkpoint/fork. The placer and tracker pointers are construction-time
+// wiring, not state, and survive a restore untouched.
+type MapperState struct {
+	table []flash.PPN
+	cmt   CMTState
+	gtd   []flash.PPN
+	stats MapperStats
+}
+
+// Snapshot captures the mapping table, CMT, GTD, and counters.
+func (m *Mapper) Snapshot() MapperState {
+	return MapperState{
+		table: append([]flash.PPN(nil), m.Table...),
+		cmt:   m.CMT.Snapshot(),
+		gtd:   append([]flash.PPN(nil), m.GTD...),
+		stats: m.stats,
+	}
+}
+
+// Restore rewinds the mapper to a snapshot of the same capacity.
+func (m *Mapper) Restore(s MapperState) {
+	copy(m.Table, s.table)
+	m.CMT.Restore(s.cmt)
+	copy(m.GTD, s.gtd)
+	m.stats = s.stats
+}
+
 // Retarget repoints the mapper's placer and invalidation tracker; recovery
 // uses it after rebuilding those structures from an OOB scan.
 func (m *Mapper) Retarget(placer Placer, tracker *Tracker) {

@@ -1,0 +1,46 @@
+package pagemap
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+)
+
+// state is PureMap's checkpoint: the in-SRAM table plus pool, tracker, and
+// write points.
+type state struct {
+	table   []flash.PPN
+	pool    ftl.FreeBlocksState
+	tracker ftl.TrackerState
+	cur     []writePoint
+	inGC    bool
+	stats   Stats
+}
+
+// Snapshot implements ftl.Snapshotter.
+func (f *PureMap) Snapshot() any {
+	return &state{
+		table:   append([]flash.PPN(nil), f.table...),
+		pool:    f.pool.Snapshot(),
+		tracker: f.tracker.Snapshot(),
+		cur:     append([]writePoint(nil), f.cur...),
+		inGC:    f.inGC,
+		stats:   f.stats,
+	}
+}
+
+// Restore implements ftl.Snapshotter.
+func (f *PureMap) Restore(snap any) error {
+	s, ok := snap.(*state)
+	if !ok {
+		return fmt.Errorf("pagemap: foreign snapshot %T", snap)
+	}
+	copy(f.table, s.table)
+	f.pool.Restore(s.pool)
+	f.tracker.Restore(s.tracker)
+	copy(f.cur, s.cur)
+	f.inGC = s.inGC
+	f.stats = s.stats
+	return nil
+}

@@ -66,6 +66,31 @@ func (f *FreeBlocks) Put(pb flash.PlaneBlock) {
 	f.total++
 }
 
+// FreeBlocksState is a deep copy of a pool, for checkpoint/fork.
+type FreeBlocksState struct {
+	perPlane [][]int
+	total    int
+}
+
+// Snapshot captures the pool's contents.
+func (f *FreeBlocks) Snapshot() FreeBlocksState {
+	s := FreeBlocksState{perPlane: make([][]int, len(f.perPlane)), total: f.total}
+	for p, blocks := range f.perPlane {
+		s.perPlane[p] = append([]int(nil), blocks...)
+	}
+	return s
+}
+
+// Restore rewinds the pool to a snapshot of the same geometry. The per-plane
+// slices are re-copied (TakeFromPlane re-slices from the front, so the live
+// slices cannot be reused in place).
+func (f *FreeBlocks) Restore(s FreeBlocksState) {
+	for p, blocks := range s.perPlane {
+		f.perPlane[p] = append([]int(nil), blocks...)
+	}
+	f.total = s.total
+}
+
 func (f *FreeBlocks) String() string {
 	return fmt.Sprintf("free blocks: %d over %d planes", f.total, len(f.perPlane))
 }

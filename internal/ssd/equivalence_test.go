@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"reflect"
 	"testing"
 
 	"dloop/internal/flash"
@@ -181,6 +182,126 @@ func TestTimeSeriesRecording(t *testing.T) {
 	}
 	if n != 500 {
 		t.Fatalf("series recorded %d samples, want 500", n)
+	}
+}
+
+// TestForkBitIdentical is the checkpoint/fork acceptance test: for every
+// FTL scheme, a run forked from a warm-up checkpoint must produce a Result
+// bit-identical to an uninterrupted fresh run, and the checkpoint must
+// survive being restored repeatedly (catching any aliasing between snapshot
+// and live state).
+func TestForkBitIdentical(t *testing.T) {
+	schemes := []string{SchemeDLOOP, SchemeDFTL, SchemeFAST, SchemeBAST,
+		SchemePureMap, SchemePureMapStriped}
+	for _, scheme := range schemes {
+		t.Run(scheme, func(t *testing.T) {
+			fresh := buildTiny(t, scheme)
+			preconditionTiny(t, fresh)
+			w1 := tinyWorkload(t, fresh, 2000, 21)
+			w2 := tinyWorkload(t, fresh, 1500, 22)
+			want1, err := fresh.Run(trace.NewSliceReader(w1))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fresh2 := buildTiny(t, scheme)
+			preconditionTiny(t, fresh2)
+			want2, err := fresh2.Run(trace.NewSliceReader(w2))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			c := buildTiny(t, scheme)
+			preconditionTiny(t, c)
+			cp, err := c.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got1, err := c.Run(trace.NewSliceReader(w1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got1, want1) {
+				t.Fatalf("run after snapshot differs from fresh run:\n got %+v\nwant %+v", got1, want1)
+			}
+			// Fork the divergent cell w2 from the same checkpoint.
+			if err := c.Restore(cp); err != nil {
+				t.Fatal(err)
+			}
+			got2, err := c.Run(trace.NewSliceReader(w2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got2, want2) {
+				t.Fatalf("forked run differs from fresh run:\n got %+v\nwant %+v", got2, want2)
+			}
+			// Restore a second time: the checkpoint must be unscathed by the
+			// forks that ran off it.
+			if err := c.Restore(cp); err != nil {
+				t.Fatal(err)
+			}
+			again, err := c.Run(trace.NewSliceReader(w1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, want1) {
+				t.Fatalf("second fork differs from fresh run:\n got %+v\nwant %+v", again, want1)
+			}
+		})
+	}
+}
+
+// TestForkWithBufferAndSeries covers the controller state the plain fork
+// test does not reach: the DRAM write buffer and the response time series.
+func TestForkWithBufferAndSeries(t *testing.T) {
+	build := func() *Controller {
+		cfg := tinyConfig(SchemeDLOOP)
+		cfg.BufferPages = 16
+		c, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.EnableTimeSeries(1 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		preconditionTiny(t, c)
+		return c
+	}
+	c := build()
+	w := tinyWorkload(t, c, 1500, 23)
+	cp, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Run(trace.NewSliceReader(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBuckets := c.TimeSeries().Buckets()
+	if err := c.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if c.TimeSeries().Buckets() != 0 {
+		t.Fatal("restored series not rewound")
+	}
+	got, err := c.Run(trace.NewSliceReader(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("forked buffered run differs:\n got %+v\nwant %+v", got, want)
+	}
+	if c.TimeSeries().Buckets() != wantBuckets {
+		t.Fatalf("series buckets %d, want %d", c.TimeSeries().Buckets(), wantBuckets)
+	}
+	dirty, hitsW, _, _ := c.BufferStats()
+	fresh := build()
+	if _, err := fresh.Run(trace.NewSliceReader(w)); err != nil {
+		t.Fatal(err)
+	}
+	fDirty, fHitsW, _, _ := fresh.BufferStats()
+	if dirty != fDirty || hitsW != fHitsW {
+		t.Fatalf("buffer state diverged: dirty %d/%d hitsW %d/%d", dirty, fDirty, hitsW, fHitsW)
 	}
 }
 

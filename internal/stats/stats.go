@@ -154,6 +154,16 @@ func (h *LatencyHist) Add(d sim.Duration) {
 // N returns the number of recorded samples.
 func (h *LatencyHist) N() int64 { return h.total }
 
+// Clone returns an independent deep copy of the histogram; the checkpoint
+// machinery needs one because the bucket slice is unexported.
+func (h *LatencyHist) Clone() LatencyHist {
+	out := LatencyHist{total: h.total}
+	if h.counts != nil {
+		out.counts = append([]int64(nil), h.counts...)
+	}
+	return out
+}
+
 // Quantile returns an approximation of the q-quantile (0 < q <= 1), or 0
 // with no samples.
 func (h *LatencyHist) Quantile(q float64) sim.Duration {

@@ -49,6 +49,20 @@ func (ts *TimeSeries) Bucket(i int) Welford {
 // BucketWidth returns the configured bucket width.
 func (ts *TimeSeries) BucketWidth() sim.Duration { return ts.bucket }
 
+// Clone returns an independent deep copy of the series (nil clones to nil);
+// Welford accumulators are value types, so copying the bucket slice copies
+// the state.
+func (ts *TimeSeries) Clone() *TimeSeries {
+	if ts == nil {
+		return nil
+	}
+	out := &TimeSeries{bucket: ts.bucket}
+	if ts.buckets != nil {
+		out.buckets = append([]Welford(nil), ts.buckets...)
+	}
+	return out
+}
+
 // Render writes "start_seconds n mean max" rows for every non-empty bucket.
 func (ts *TimeSeries) Render(w io.Writer) error {
 	for i, b := range ts.buckets {

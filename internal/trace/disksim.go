@@ -51,7 +51,9 @@ func (r *DiskSimReader) Next() (Request, error) {
 		return req, nil
 	}
 	if err := r.s.Err(); err != nil {
-		return Request{}, err
+		// The scanner stops silently on its buffer cap (bufio.ErrTooLong);
+		// name the offending line so a corrupt trace is debuggable.
+		return Request{}, fmt.Errorf("trace: disksim line %d: %w", r.line+1, err)
 	}
 	return Request{}, io.EOF
 }

@@ -47,7 +47,9 @@ func (r *SPCReader) Next() (Request, error) {
 		return req, nil
 	}
 	if err := r.s.Err(); err != nil {
-		return Request{}, err
+		// See DiskSimReader.Next: surface the line where the scanner died
+		// (notably bufio.ErrTooLong on over-long lines).
+		return Request{}, fmt.Errorf("trace: spc line %d: %w", r.line+1, err)
 	}
 	return Request{}, io.EOF
 }

@@ -20,24 +20,30 @@ type Stats struct {
 func Summarize(reqs []Request) Stats {
 	s := Stats{MinLBN: -1}
 	for _, r := range reqs {
-		if r.Op == OpRead {
-			s.Reads++
-			s.ReadSectors += int64(r.Sectors)
-		} else {
-			s.Writes++
-			s.WriteSectors += int64(r.Sectors)
-		}
-		if s.MinLBN < 0 || r.LBN < s.MinLBN {
-			s.MinLBN = r.LBN
-		}
-		if r.End() > s.MaxEnd {
-			s.MaxEnd = r.End()
-		}
-		if d := sim.Duration(r.Arrival); d > s.Duration {
-			s.Duration = d
-		}
+		s.add(r)
 	}
 	return s
+}
+
+// add folds one request into the summary. The zero value is not usable:
+// initialize MinLBN to -1 first (Summarize and BuildArena do).
+func (s *Stats) add(r Request) {
+	if r.Op == OpRead {
+		s.Reads++
+		s.ReadSectors += int64(r.Sectors)
+	} else {
+		s.Writes++
+		s.WriteSectors += int64(r.Sectors)
+	}
+	if s.MinLBN < 0 || r.LBN < s.MinLBN {
+		s.MinLBN = r.LBN
+	}
+	if r.End() > s.MaxEnd {
+		s.MaxEnd = r.End()
+	}
+	if d := sim.Duration(r.Arrival); d > s.Duration {
+		s.Duration = d
+	}
 }
 
 // Requests returns the total request count.

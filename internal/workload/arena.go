@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"dloop/internal/trace"
+)
+
+// materializedCache memoizes MaterializeArena so each (profile, seed, n)
+// stream is generated exactly once per process. Sweeps replay the same
+// synthetic stream across many configurations; with the cache they share one
+// generation pass and one columnar copy instead of paying both per cell. The
+// cache is never evicted — entries are ~17 bytes per request and a sweep
+// touches only a handful of (profile, seed) combinations — so a whole
+// experiment suite stays within a few tens of megabytes.
+var materializedCache sync.Map // string -> *materializedEntry
+
+type materializedEntry struct {
+	once sync.Once
+	a    *trace.Arena
+	err  error
+}
+
+// MaterializeArena generates the first n requests of the (p, seed) stream
+// into an immutable columnar trace.Arena. Equal (profile, seed, n) calls —
+// including concurrent ones — return the same shared Arena; callers replay it
+// read-only through their own cursors. The stream is identical to n calls of
+// Generator.Next on a fresh generator.
+func MaterializeArena(p Profile, seed int64, n int) (*trace.Arena, error) {
+	key := fmt.Sprintf("%+v|%d|%d", p, seed, n)
+	v, _ := materializedCache.LoadOrStore(key, &materializedEntry{})
+	e := v.(*materializedEntry)
+	e.once.Do(func() {
+		reqs, err := Generate(p, seed, n)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.a = trace.ArenaOf(reqs)
+	})
+	return e.a, e.err
+}

@@ -65,7 +65,8 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^BenchmarkSimulateThroughput(Observed)?$' -benchmem \
     -benchtime "$benchtime" -count "$count" . | tee -a "$raw"
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
-    ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/workload/ | tee -a "$raw"
+    ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/workload/ \
+    ./internal/trace/ ./internal/expt/ | tee -a "$raw"
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
