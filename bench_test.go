@@ -177,6 +177,53 @@ func BenchmarkSimulateThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkGCHeavy measures the simulator in the garbage-collection-active
+// regime the unified GC engine owns: a shrunken device preconditioned to its
+// workload footprint, driven by an update-only skewed stream so collections
+// (victim picks, copy-back relocations, parity waste, erases) dominate the
+// work. The run fails if GC never triggered, so the benchmark cannot quietly
+// degrade into remeasuring the host write path.
+func BenchmarkGCHeavy(b *testing.B) {
+	geo, err := dloop.ScaledGeometryFor(4, 2, 0.03, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dloop.Config{CapacityGB: 4, FTL: dloop.SchemeDLOOP, Geometry: &geo}
+	ssd, err := dloop.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := dloop.Financial1()
+	p.WriteRatio = 1.0 // pure updates: every request invalidates live pages
+	p.ZipfS = 1.05
+	p.FootprintBytes = int64(ssd.FTL().Capacity()) * int64(geo.PageSize) * 9 / 10
+	if err := ssd.PreconditionBytes(p.FootprintBytes); err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := dloop.GenerateTrace(p, 42, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm until collection has actually started, so every timed iteration
+	// runs in the steady GC-active regime and the benchmark cannot quietly
+	// degrade into remeasuring the host write path.
+	for i := 0; i < 2000; i++ {
+		if _, err := ssd.Serve(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if ssd.Result().GCRuns == 0 {
+		b.Fatal("warm-up never triggered GC; the benchmark would measure nothing")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ssd.Serve(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulateThroughputObserved is BenchmarkSimulateThroughput with the
 // observability collector attached (metrics registry only, no trace sinks):
 // the difference between the two is the per-request cost of enabling

@@ -38,6 +38,7 @@ func main() {
 		nocb      = flag.Bool("no-copyback", false, "DLOOP E5 ablation: external GC moves")
 		adaptive  = flag.Bool("adaptive-gc", false, "DLOOP E7 extension: hot-plane-aware GC thresholds")
 		stripeBy  = flag.String("stripe-by", "", "DLOOP E8 ablation: plane|die|chip|channel")
+		gcPolicy  = flag.String("gc-policy", "", "GC victim policy: greedy|costbenefit|windowed|fifo (empty = scheme default)")
 		bufPages  = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
 
 		metricsOut  = flag.String("metrics-out", "", "write the run's observability metrics.json to this file")
@@ -69,6 +70,7 @@ func main() {
 		DisableCopyBack: *nocb,
 		AdaptiveGC:      *adaptive,
 		StripeBy:        *stripeBy,
+		GCPolicy:        *gcPolicy,
 		BufferPages:     *bufPages,
 	}
 
@@ -204,6 +206,9 @@ func replayFile(cfg dloop.Config, path, format string, footprintMiB int64, ob *o
 
 func report(res dloop.Result, wall time.Duration) {
 	fmt.Printf("FTL:                 %s\n", res.FTL)
+	if res.GCPolicy != "" {
+		fmt.Printf("GC policy:           %s\n", res.GCPolicy)
+	}
 	fmt.Printf("requests:            %d (%d page reads, %d page writes)\n", res.Requests, res.PagesRead, res.PagesWrit)
 	fmt.Printf("simulated time:      %.1f s\n", res.SimulatedS)
 	fmt.Printf("mean response time:  %.3f ms (std %.3f, p50 %.3f, p99 %.3f, max %.3f)\n",

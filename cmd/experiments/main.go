@@ -10,7 +10,7 @@
 // Experiments: fig8 (capacity sweep), fig9 (page size), fig10 (extra
 // blocks), headline (improvement ratios, implies fig8), ablation (E5
 // copy-back on/off), parity (E6 same-parity waste), hotplane (E7 adaptive
-// GC), all.
+// GC), gcpolicy (E9 victim-policy sweep), all.
 package main
 
 import (
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig8|fig9|fig10|headline|ablation|parity|striping|hotplane|all")
+		exp      = flag.String("exp", "all", "experiment: fig8|fig9|fig10|headline|ablation|parity|striping|hotplane|gcpolicy|all")
 		requests = flag.Int("requests", 400_000, "requests per run")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		scale    = flag.Float64("scale", 1.0, "shrink device+footprint for quick runs (0,1]")
@@ -185,9 +185,19 @@ func run(exp string, opt dloop.Options, outDir string) error {
 			return err
 		}
 	}
+	if want("gcpolicy") {
+		ran = true
+		mrt, moves, err := dloop.GCPolicyStudy(opt)
+		if err != nil {
+			return err
+		}
+		if err := emit("gcpolicy", mrt, moves); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"fig8", "fig9", "fig10", "headline", "ablation", "parity", "striping", "hotplane", "all"}, "|"))
+			strings.Join([]string{"fig8", "fig9", "fig10", "headline", "ablation", "parity", "striping", "hotplane", "gcpolicy", "all"}, "|"))
 	}
 	return nil
 }

@@ -244,3 +244,42 @@ func TestParityAndHotPlaneQuick(t *testing.T) {
 		}
 	}
 }
+
+// TestGCPolicyStudyQuick exercises the E9 victim-policy sweep axis: every
+// (scheme, policy) cell must fill for all three schemes, the default cells
+// must match a plain run of the same configuration, and distinct policies
+// must be selectable per scheme.
+func TestGCPolicyStudyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	opt := quickOptions()
+	mrt, moves, err := GCPolicyStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{ssd.SchemeDLOOP, ssd.SchemeDFTL, ssd.SchemeFAST} {
+		for _, pol := range GCPolicies() {
+			x := gcPolicyLabel(pol)
+			if _, ok := mrt.Get(scheme, x); !ok {
+				t.Errorf("mrt grid missing %s @ %s", scheme, x)
+			}
+			if _, ok := moves.Get(scheme, x); !ok {
+				t.Errorf("moves grid missing %s @ %s", scheme, x)
+			}
+		}
+	}
+	// The default column must be bit-identical to a run without GCPolicy set.
+	cfg, ok := configFor(4, 2, 0.03, ssd.SchemeDLOOP, opt)
+	if !ok {
+		t.Fatal("configFor failed")
+	}
+	p := scaleProfile(workload.Financial1(), opt.Scale)
+	res, err := Run(cfg, p, opt.Requests, opt.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := mrt.Get(ssd.SchemeDLOOP, "default"); got != res.MeanRespMs {
+		t.Errorf("default cell %v differs from plain run %v", got, res.MeanRespMs)
+	}
+}

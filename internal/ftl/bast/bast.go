@@ -18,6 +18,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
@@ -30,6 +31,9 @@ type Config struct {
 	// (default: half the device's extra blocks, minimum 4 — the same
 	// budget FAST gets).
 	LogBlocks int
+	// GCPolicy selects the log-block eviction policy (default "fifo", the
+	// original BAST order; see gc.ParsePolicy for the alternatives).
+	GCPolicy string
 }
 
 // Stats exposes BAST's merge counters.
@@ -63,8 +67,9 @@ type BAST struct {
 	nLogs     int         // open log blocks (non-nil entries of logs)
 	logOrder  []int64     // lbns in log-allocation order (merge victims FIFO)
 
-	stats Stats
-	rec   obs.Recorder // nil when observability is disabled
+	engine *gc.Engine // merge moves and log-victim policy picks
+	stats  Stats
+	rec    obs.Recorder // nil when observability is disabled
 }
 
 // New builds a BAST baseline over dev.
@@ -96,6 +101,17 @@ func New(dev *flash.Device, cfg Config) (*BAST, error) {
 	for i := range f.dataBlock {
 		f.dataBlock[i] = -1
 	}
+	name := cfg.GCPolicy
+	if name == "" {
+		name = gc.DefaultLogPolicy
+	}
+	policy, err := gc.ParsePolicy(name, geo.PagesPerBlock)
+	if err != nil {
+		return nil, err
+	}
+	// BAST keeps its own merge logic; the engine supplies the eviction
+	// policy, the external move primitive, and the unified GC counters.
+	f.engine = gc.NewEngine(gc.Config{Dev: dev, Policy: policy})
 	return f, nil
 }
 
@@ -108,9 +124,15 @@ func (f *BAST) Capacity() ftl.LPN { return f.capacity }
 // Stats returns BAST's merge counters.
 func (f *BAST) Stats() Stats { return f.stats }
 
+// GCPolicyName reports the log-block eviction policy in effect.
+func (f *BAST) GCPolicyName() string { return f.engine.PolicyName() }
+
 // SetRecorder implements ftl.Observable: merge events and spans flow from
 // here. BAST keeps its maps in SRAM, so there is no CMT traffic to report.
-func (f *BAST) SetRecorder(r obs.Recorder) { f.rec = r }
+func (f *BAST) SetRecorder(r obs.Recorder) {
+	f.rec = r
+	f.engine.SetRecorder(r)
+}
 
 func (f *BAST) split(lpn ftl.LPN) (lbn int64, off int) {
 	return int64(lpn) / int64(f.geo.PagesPerBlock), int(int64(lpn) % int64(f.geo.PagesPerBlock))
@@ -191,10 +213,12 @@ func (f *BAST) logWrite(lpn ftl.LPN, lbn int64, off int, ready sim.Time) (sim.Ti
 		return f.WritePage(lpn, t)
 	}
 	if lb == nil {
-		// Need a fresh dedicated log block; evict the oldest if at budget.
+		// Need a fresh dedicated log block; evict one chosen by the victim
+		// policy (the default fifo picks the oldest, BAST's original order)
+		// if at budget.
 		for f.nLogs >= f.cfg.LogBlocks {
 			var err error
-			t, err = f.merge(f.logOrder[0], t)
+			t, err = f.merge(f.pickEvict(), t)
 			if err != nil {
 				return 0, err
 			}
@@ -239,6 +263,24 @@ func (f *BAST) alloc() (flash.PlaneBlock, error) {
 	return pb, nil
 }
 
+// pickEvict chooses which open log block to merge when the budget is
+// exhausted, by the configured victim policy over the open-log list.
+func (f *BAST) pickEvict() int64 {
+	cands := make([]gc.Candidate, len(f.logOrder))
+	for i, lbn := range f.logOrder {
+		lb := f.logs[lbn]
+		info := f.dev.Block(lb.pb)
+		cands[i] = gc.Candidate{
+			PB:      lb.pb,
+			Valid:   info.Valid,
+			Invalid: info.Invalid,
+			Age:     int64(len(f.logOrder) - i), // allocation order: oldest first
+			Key:     lbn,
+		}
+	}
+	return gc.PickLogVictim(f.engine.Policy(), cands).Key
+}
+
 // merge retires lbn's log block: a switch merge when it is a complete
 // in-order rewrite, otherwise a full merge into a fresh block.
 func (f *BAST) merge(lbn int64, ready sim.Time) (sim.Time, error) {
@@ -259,6 +301,7 @@ func (f *BAST) merge(lbn int64, ready sim.Time) (sim.Time, error) {
 	}
 	t := ready
 	info := f.dev.Block(lb.pb)
+	f.engine.RecordVictim(info.Valid, ready)
 
 	if lb.seq && lb.next == f.geo.PagesPerBlock && info.Invalid == 0 {
 		// Switch merge: the log block is a perfect sequential rewrite.
@@ -286,16 +329,11 @@ func (f *BAST) merge(lbn int64, ready sim.Time) (sim.Time, error) {
 		if src == flash.InvalidPPN {
 			continue
 		}
+		// The copy runs through the GC engine so the unified relocation
+		// counters cover merge traffic (BAST does not use copy-back).
 		dst := f.geo.PPNOf(c.Plane, c.Block, off)
-		t, err = f.dev.ReadPage(src, t, flash.CauseGC)
+		t, err = f.engine.MoveExternal(src, dst, int64(lpn), t)
 		if err != nil {
-			return 0, err
-		}
-		t, err = f.dev.WritePage(dst, int64(lpn), t, flash.CauseGC)
-		if err != nil {
-			return 0, err
-		}
-		if err := f.dev.Invalidate(src); err != nil {
 			return 0, err
 		}
 		f.stats.MergeCopies++

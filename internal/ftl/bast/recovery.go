@@ -1,0 +1,103 @@
+package bast
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+)
+
+// NewRecovered rebuilds a BAST baseline from an existing device's out-of-band
+// page tags after a simulated power loss.
+//
+// BAST keeps block roles (data block vs dedicated log block) in controller
+// SRAM, and OOB tags alone cannot always reproduce them: a sequential log
+// block is indistinguishable from a data block, and stale pages lose their
+// tags when invalidated. Recovery therefore rebuilds a *consistent* state
+// instead of the exact pre-crash one. Every occupied block's valid pages
+// belong to exactly one logical block (BAST never mixes lbns within a block);
+// a block whose valid pages all sit at their in-place offsets may serve as
+// the lbn's data block, and the other block — if any — is adopted as its
+// dedicated log. Lookups resolve identically either way because the device
+// holds exactly one valid copy per logical page and data blocks accept
+// in-place writes exactly as logs shadow them. Fully-stale blocks carry no
+// owner anymore and are reclaimed outright, the way a real controller erases
+// garbage found during its boot scan. If recovery adopts more log blocks than
+// the configured budget, the next log write merges the surplus down through
+// the normal eviction path.
+func NewRecovered(dev *flash.Device, cfg Config) (*BAST, error) {
+	f, err := New(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The scan validates the one-valid-copy-per-lpn invariant and collects
+	// the erased blocks into the free pool; block roles are rebuilt below.
+	st, err := ftl.ScanOOB(dev, f.capacity, 0)
+	if err != nil {
+		return nil, err
+	}
+	f.pool = st.Pool
+	geo := f.geo
+	ppb := int64(geo.PagesPerBlock)
+	for plane := 0; plane < geo.Planes(); plane++ {
+		for block := 0; block < geo.BlocksPerPlane; block++ {
+			pb := flash.PlaneBlock{Plane: plane, Block: block}
+			info := f.dev.Block(pb)
+			if info.Written == 0 {
+				continue // erased: already in the pool
+			}
+			first := geo.FirstPPN(pb)
+			// Only valid pages still carry tags (invalidation clears them);
+			// they name the block's owner lbn, and the in-place property
+			// decides whether the block can serve as its data block.
+			lbn := int64(-1)
+			inPlace := true
+			for p := 0; p < geo.PagesPerBlock; p++ {
+				if f.dev.PageState(first+flash.PPN(p)) != flash.PageValid {
+					continue
+				}
+				tag := f.dev.PageLPN(first + flash.PPN(p))
+				if lbn < 0 {
+					lbn = tag / ppb
+				} else if tag/ppb != lbn {
+					return nil, fmt.Errorf("bast: recovery found tags of logical blocks %d and %d in physical block %v", lbn, tag/ppb, pb)
+				}
+				if tag%ppb != int64(p) {
+					inPlace = false
+				}
+			}
+			if lbn < 0 {
+				// Fully stale: no tag names an owner. Reclaim it now.
+				if _, err := f.dev.Erase(pb, 0, flash.CauseGC); err != nil {
+					return nil, err
+				}
+				f.pool.Put(pb)
+				continue
+			}
+			if inPlace && f.dataBlock[lbn] < 0 {
+				f.dataBlock[lbn] = geo.BlockIndex(pb)
+				continue
+			}
+			if f.logs[lbn] != nil {
+				return nil, fmt.Errorf("bast: recovery found two log blocks for logical block %d", lbn)
+			}
+			lb := &logBlock{lbn: lbn, pb: pb, next: info.NextWrite, pageFor: make([]int, ppb)}
+			// seq (an in-order complete rewrite, the switch-merge trigger) is
+			// only provable when every written page is still valid in place.
+			lb.seq = inPlace && info.Invalid == 0 && info.Written == info.NextWrite
+			for i := range lb.pageFor {
+				lb.pageFor[i] = -1
+			}
+			for p := 0; p < geo.PagesPerBlock; p++ {
+				if f.dev.PageState(first+flash.PPN(p)) != flash.PageValid {
+					continue
+				}
+				lb.pageFor[f.dev.PageLPN(first+flash.PPN(p))%ppb] = p
+			}
+			f.logs[lbn] = lb
+			f.nLogs++
+			f.logOrder = append(f.logOrder, lbn)
+		}
+	}
+	return f, nil
+}

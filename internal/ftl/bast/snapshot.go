@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 )
 
 // state is BAST's checkpoint. Log blocks are heap objects owned by the FTL,
@@ -15,6 +16,7 @@ type state struct {
 	logs      []*logBlock
 	nLogs     int
 	logOrder  []int64
+	engine    gc.State
 	stats     Stats
 }
 
@@ -35,6 +37,7 @@ func (f *BAST) Snapshot() any {
 		logs:      make([]*logBlock, len(f.logs)),
 		nLogs:     f.nLogs,
 		logOrder:  append([]int64(nil), f.logOrder...),
+		engine:    f.engine.Snapshot(),
 		stats:     f.stats,
 	}
 	for i, l := range f.logs {
@@ -56,6 +59,7 @@ func (f *BAST) Restore(snap any) error {
 	}
 	f.nLogs = s.nLogs
 	f.logOrder = append(f.logOrder[:0], s.logOrder...)
+	f.engine.Restore(s.engine)
 	f.stats = s.stats
 	return nil
 }

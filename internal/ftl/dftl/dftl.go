@@ -19,6 +19,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
@@ -34,6 +35,9 @@ type Config struct {
 	// ExtraPerPlane matches the over-provisioning given to the other FTLs so
 	// every scheme exports the same capacity.
 	ExtraPerPlane int
+	// GCPolicy selects the garbage-collection victim policy (default
+	// "greedy"; see gc.ParsePolicy for the alternatives).
+	GCPolicy string
 }
 
 func (c *Config) setDefaults() {
@@ -70,10 +74,9 @@ type DFTL struct {
 	tracker *ftl.Tracker
 	data    writePoint // global current data block
 	trans   writePoint // global current translation block
-	gcDepth int        // nesting level of active collections
+	engine  *gc.Engine // owns the collect loop and reentrancy guards
 
-	stats Stats
-	rec   obs.Recorder // nil when observability is disabled
+	rec obs.Recorder // nil when observability is disabled
 }
 
 // New builds a DFTL baseline over dev.
@@ -96,6 +99,23 @@ func New(dev *flash.Device, cfg Config) (*DFTL, error) {
 	if err != nil {
 		return nil, err
 	}
+	name := cfg.GCPolicy
+	if name == "" {
+		name = gc.DefaultPagePolicy
+	}
+	policy, err := gc.ParsePolicy(name, geo.PagesPerBlock)
+	if err != nil {
+		return nil, err
+	}
+	f.engine = gc.NewEngine(gc.Config{
+		Dev:     dev,
+		Policy:  policy,
+		Tracker: f.tracker,
+		Scheme:  hooks{f},
+		// Device-wide trigger and victim search, external moves in plain
+		// offset order, no progress guard: plain DFTL's original loop.
+		Style: gc.MoveOffsetOrder,
+	})
 	return f, nil
 }
 
@@ -105,12 +125,19 @@ func (f *DFTL) Name() string { return "DFTL" }
 // Capacity implements ftl.FTL.
 func (f *DFTL) Capacity() ftl.LPN { return f.capacity }
 
-// Stats returns DFTL's internal counters.
+// Stats returns DFTL's internal counters, derived from the GC engine and
+// the shared mapper.
 func (f *DFTL) Stats() Stats {
-	s := f.stats
-	s.MapperStats = f.mapper.Stats()
-	return s
+	es := f.engine.Stats()
+	return Stats{
+		GCRuns:      es.Runs,
+		GCMoves:     es.Moves,
+		MapperStats: f.mapper.Stats(),
+	}
 }
+
+// GCPolicyName reports the victim-selection policy in effect.
+func (f *DFTL) GCPolicyName() string { return f.engine.PolicyName() }
 
 // CMTHitRate reports the mapping-cache hit rate.
 func (f *DFTL) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRate() }
@@ -119,6 +146,7 @@ func (f *DFTL) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRat
 func (f *DFTL) SetRecorder(r obs.Recorder) {
 	f.rec = r
 	f.mapper.SetRecorder(r)
+	f.engine.SetRecorder(r)
 }
 
 // ReadPage implements ftl.FTL.
@@ -165,10 +193,10 @@ func (f *DFTL) WritePage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
 func (f *DFTL) PlacePage(stored int64, ready sim.Time) (flash.PPN, sim.Time, error) {
 	t := ready
 	// Collections never place through this path (GC mapping redirects are
-	// lazy), so the depth guard is pure defense against reentry.
-	if f.gcDepth == 0 {
+	// lazy), so the engine's idle guard is pure defense against reentry.
+	if f.engine.Idle(0) {
 		var err error
-		t, err = f.maybeCollect(t)
+		t, err = f.engine.MaybeCollect(0, t)
 		if err != nil {
 			return flash.InvalidPPN, 0, err
 		}
@@ -201,83 +229,39 @@ func (f *DFTL) nextFreePage(wp *writePoint) (flash.PPN, error) {
 	return ppn, nil
 }
 
-func (f *DFTL) maybeCollect(ready sim.Time) (sim.Time, error) {
-	t := ready
-	for f.pool.Total() < f.cfg.GCThreshold {
-		end, reclaimed, err := f.collect(t)
-		if err != nil {
-			return 0, err
+// hooks adapts DFTL's global pool and twin write points to the GC engine's
+// Scheme surface: relocated data pages append to the current data block,
+// translation pages to the current translation block.
+type hooks struct{ f *DFTL }
+
+func (h hooks) PoolLow(plane int) bool { return h.f.pool.Total() < h.f.cfg.GCThreshold }
+
+func (h hooks) FreePages(plane int) int {
+	f := h.f
+	n := f.pool.Total() * f.geo.PagesPerBlock
+	for _, wp := range []*writePoint{&f.data, &f.trans} {
+		if wp.active {
+			n += f.geo.PagesPerBlock - wp.next
 		}
-		if !reclaimed {
-			break
-		}
-		t = end
 	}
-	return t, nil
+	return n
 }
 
-// collect performs one device-wide garbage collection: the block with the
-// most invalid pages is the victim; every valid page is relocated with an
-// external read + write pair (data pages to the current data block,
-// translation pages to the current translation block), mappings are
-// redirected, and the victim is erased.
-func (f *DFTL) collect(ready sim.Time) (end sim.Time, reclaimed bool, err error) {
-	victim, _, ok := f.tracker.MaxGlobal()
-	if !ok {
-		return ready, false, nil
-	}
-	f.tracker.Take(victim)
-	f.gcDepth++
-	defer func() { f.gcDepth-- }()
+func (h hooks) DestParity(plane int) int { return 0 } // external moves only: parity never binds
 
-	t := ready
-	var moved []ftl.Moved
-	first := f.geo.FirstPPN(victim)
-	for p := 0; p < f.geo.PagesPerBlock; p++ {
-		src := first + flash.PPN(p)
-		if f.dev.PageState(src) != flash.PageValid {
-			continue
-		}
-		stored := f.dev.PageLPN(src)
-		wp := &f.data
-		if ftl.IsTrans(stored) {
-			wp = &f.trans
-		}
-		var dst flash.PPN
-		dst, err = f.nextFreePage(wp)
-		if err != nil {
-			return 0, false, err
-		}
-		t, err = f.dev.ReadPage(src, t, flash.CauseGC)
-		if err != nil {
-			return 0, false, err
-		}
-		t, err = f.dev.WritePage(dst, stored, t, flash.CauseGC)
-		if err != nil {
-			return 0, false, err
-		}
-		if err = f.dev.Invalidate(src); err != nil {
-			return 0, false, err
-		}
-		moved = append(moved, ftl.Moved{Stored: stored, New: dst})
-		f.stats.GCMoves++
+func (h hooks) NextDest(plane int, stored int64) (flash.PPN, error) {
+	wp := &h.f.data
+	if ftl.IsTrans(stored) {
+		wp = &h.f.trans
 	}
-	t, err = f.mapper.RedirectMoved(moved, t)
-	if err != nil {
-		return 0, false, err
-	}
-	t, err = f.dev.Erase(victim, t, flash.CauseGC)
-	if err != nil {
-		return 0, false, err
-	}
-	f.tracker.Erased(victim)
-	f.pool.Put(victim)
-	f.stats.GCRuns++
-	if f.rec != nil {
-		f.rec.RecordSpan(obs.SpanGC, int32(victim.Plane), ready, t)
-	}
-	return t, true, nil
+	return h.f.nextFreePage(wp)
 }
+
+func (h hooks) Redirect(moved []ftl.Moved, at sim.Time) (sim.Time, error) {
+	return h.f.mapper.RedirectMoved(moved, at)
+}
+
+func (h hooks) Release(victim flash.PlaneBlock) { h.f.pool.Put(victim) }
 
 // Lookup returns the current physical page of lpn without charging simulated
 // time or perturbing the CMT; tests and consistency checks use it.
@@ -310,6 +294,7 @@ func NewRecovered(dev *flash.Device, cfg Config) (*DFTL, error) {
 	f.pool = st.Pool
 	f.tracker = st.Tracker
 	f.mapper.Retarget(f, st.Tracker)
+	f.engine.Retarget(st.Tracker)
 	wps := []*writePoint{&f.data, &f.trans}
 	if len(st.Partial) > len(wps) {
 		return nil, fmt.Errorf("dftl: recovery found %d partial blocks, want at most %d", len(st.Partial), len(wps))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 )
 
 // state is DFTL's checkpoint: the demand-paged mapping machinery plus the
@@ -14,8 +15,7 @@ type state struct {
 	tracker ftl.TrackerState
 	data    writePoint
 	trans   writePoint
-	gcDepth int
-	stats   Stats
+	engine  gc.State
 }
 
 // Snapshot implements ftl.Snapshotter.
@@ -26,8 +26,7 @@ func (f *DFTL) Snapshot() any {
 		tracker: f.tracker.Snapshot(),
 		data:    f.data,
 		trans:   f.trans,
-		gcDepth: f.gcDepth,
-		stats:   f.stats,
+		engine:  f.engine.Snapshot(),
 	}
 }
 
@@ -42,7 +41,6 @@ func (f *DFTL) Restore(snap any) error {
 	f.tracker.Restore(s.tracker)
 	f.data = s.data
 	f.trans = s.trans
-	f.gcDepth = s.gcDepth
-	f.stats = s.stats
+	f.engine.Restore(s.engine)
 	return nil
 }

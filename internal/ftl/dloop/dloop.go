@@ -19,6 +19,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
@@ -45,6 +46,10 @@ type Config struct {
 	// StripeBy selects the E8 ablation's striping policy (default
 	// StripePlane, the paper's equation (1)).
 	StripeBy Striping
+	// GCPolicy selects the garbage-collection victim policy (default
+	// "greedy", the paper's max-invalid pick; see gc.ParsePolicy for the
+	// alternatives).
+	GCPolicy string
 }
 
 func (c *Config) setDefaults() {
@@ -80,20 +85,18 @@ type DLOOP struct {
 	cfg      Config
 	capacity ftl.LPN
 
-	mapper     *ftl.Mapper
-	pool       *ftl.FreeBlocks
-	tracker    *ftl.Tracker
-	cur        []writePoint // per plane
-	gcDepth    int          // nesting level of active collections (see PlacePage)
-	collecting []bool       // per plane: a collection is running here
+	mapper  *ftl.Mapper
+	pool    *ftl.FreeBlocks
+	tracker *ftl.Tracker
+	cur     []writePoint // per plane
+	engine  *gc.Engine   // owns the collect loop and reentrancy guards
 
 	perm []int // striping permutation: LPN mod planes -> plane
 
 	planeWrites []int64 // host write pages per plane, drives AdaptiveGC
 	totalWrites int64
 
-	stats Stats
-	rec   obs.Recorder // nil when observability is disabled
+	rec obs.Recorder // nil when observability is disabled
 }
 
 // New builds a DLOOP FTL over dev.
@@ -115,7 +118,6 @@ func New(dev *flash.Device, cfg Config) (*DLOOP, error) {
 		pool:        ftl.NewFreeBlocks(geo),
 		tracker:     ftl.NewTracker(geo),
 		cur:         make([]writePoint, geo.Planes()),
-		collecting:  make([]bool, geo.Planes()),
 		planeWrites: make([]int64, geo.Planes()),
 	}
 	var err error
@@ -127,6 +129,28 @@ func New(dev *flash.Device, cfg Config) (*DLOOP, error) {
 	if err != nil {
 		return nil, err
 	}
+	name := cfg.GCPolicy
+	if name == "" {
+		name = gc.DefaultPagePolicy
+	}
+	policy, err := gc.ParsePolicy(name, geo.PagesPerBlock)
+	if err != nil {
+		return nil, err
+	}
+	style := gc.MoveCopyBack
+	if cfg.DisableCopyBack {
+		style = gc.MoveExternalParity
+	}
+	f.engine = gc.NewEngine(gc.Config{
+		Dev:              dev,
+		Policy:           policy,
+		Tracker:          f.tracker,
+		Scheme:           hooks{f},
+		PerPlane:         true,
+		ProgressGuard:    true,
+		Style:            style,
+		LowSpaceExternal: true,
+	})
 	return f, nil
 }
 
@@ -136,12 +160,20 @@ func (f *DLOOP) Name() string { return "DLOOP" }
 // Capacity implements ftl.FTL.
 func (f *DLOOP) Capacity() ftl.LPN { return f.capacity }
 
-// Stats returns DLOOP's internal counters.
+// Stats returns DLOOP's internal counters, derived from the GC engine and
+// the shared mapper.
 func (f *DLOOP) Stats() Stats {
-	s := f.stats
-	s.MapperStats = f.mapper.Stats()
-	return s
+	es := f.engine.Stats()
+	return Stats{
+		GCRuns:      es.Runs,
+		GCMoves:     es.Moves,
+		ParityWaste: es.ParityWaste,
+		MapperStats: f.mapper.Stats(),
+	}
 }
+
+// GCPolicyName reports the victim-selection policy in effect.
+func (f *DLOOP) GCPolicyName() string { return f.engine.PolicyName() }
 
 // CMTHitRate reports the mapping-cache hit rate.
 func (f *DLOOP) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRate() }
@@ -151,6 +183,7 @@ func (f *DLOOP) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRa
 func (f *DLOOP) SetRecorder(r obs.Recorder) {
 	f.rec = r
 	f.mapper.SetRecorder(r)
+	f.engine.SetRecorder(r)
 }
 
 // planeFor applies equation (1) — through the striping permutation — to
@@ -211,10 +244,10 @@ func (f *DLOOP) PlacePage(stored int64, ready sim.Time) (flash.PPN, sim.Time, er
 	t := ready
 	// Collections allocate destination pages only on their own plane and
 	// never place through this path (GC mapping redirects are lazy), so the
-	// depth guard is pure defense against reentry.
-	if f.gcDepth == 0 && !f.collecting[plane] {
+	// engine's idle guard is pure defense against reentry.
+	if f.engine.Idle(plane) {
 		var err error
-		t, err = f.maybeCollect(plane, t)
+		t, err = f.engine.MaybeCollect(plane, t)
 		if err != nil {
 			return flash.InvalidPPN, 0, err
 		}
@@ -255,29 +288,6 @@ func (f *DLOOP) freePages(plane int) int {
 	return n
 }
 
-func (f *DLOOP) maybeCollect(plane int, ready sim.Time) (sim.Time, error) {
-	t := ready
-	for f.pool.InPlane(plane) < f.thresholdFor(plane) {
-		before := f.freePages(plane)
-		end, reclaimed, err := f.collect(plane, t)
-		if err != nil {
-			return 0, err
-		}
-		if !reclaimed {
-			break // nothing invalid to reclaim on this plane
-		}
-		t = end
-		if f.freePages(plane) <= before {
-			// The collection's destination pages (moves plus parity waste)
-			// consumed everything it freed. Retrying immediately would
-			// livelock; break and let the invalid pages host updates keep
-			// creating make the next collection profitable.
-			break
-		}
-	}
-	return t, nil
-}
-
 // nextFreePage advances the plane's write point, opening a new free block
 // when the current one fills.
 func (f *DLOOP) nextFreePage(plane int) (flash.PPN, error) {
@@ -298,117 +308,29 @@ func (f *DLOOP) nextFreePage(plane int) (flash.PPN, error) {
 	return ppn, nil
 }
 
-// collect runs one garbage collection on the plane: pick the block with the
-// most invalid pages, relocate its valid pages to the current free block via
-// intra-plane copy-back (wasting destination pages on parity mismatch),
-// redirect the mappings, erase, and return the block to the pool (§III.C).
-func (f *DLOOP) collect(plane int, ready sim.Time) (end sim.Time, reclaimed bool, err error) {
-	victim, _, ok := f.tracker.MaxInPlane(plane)
-	if !ok {
-		return ready, false, nil
-	}
-	f.tracker.Take(victim)
-	f.gcDepth++
-	f.collecting[plane] = true
-	defer func() {
-		f.gcDepth--
-		f.collecting[plane] = false
-	}()
+// hooks adapts DLOOP's pools, thresholds, and write points to the GC
+// engine's Scheme surface. The engine owns the collect loop (victim pick,
+// copy-back moves with the parity-waste rule, erase accounting, §III.C);
+// DLOOP supplies placement.
+type hooks struct{ f *DLOOP }
 
-	t := ready
-	var moved []ftl.Moved
-	first := f.geo.FirstPPN(victim)
-	// Gather the victim's valid pages by in-block offset parity. Moves are
-	// ordered so the source parity matches the destination write point
-	// whenever possible; a page is wasted only when the remaining pages are
-	// all of the "wrong" parity — §III.A's worst case of about m/2 wasted
-	// pages when m same-parity pages must move.
-	var byParity [2][]int
-	for p := 0; p < f.geo.PagesPerBlock; p++ {
-		if f.dev.PageState(first+flash.PPN(p)) == flash.PageValid {
-			byParity[p%2] = append(byParity[p%2], p)
-		}
-	}
-	for len(byParity[0])+len(byParity[1]) > 0 {
-		want := f.destParity(plane)
-		external := f.cfg.DisableCopyBack
-		if external {
-			want = pickAny(byParity) // parity is a copy-back-only restriction
-		}
-		if len(byParity[want]) == 0 {
-			// Only wrong-parity sources remain. Normally DLOOP wastes one
-			// destination page to flip the write point's parity (§III.A).
-			// When the plane is critically low on free pages, wasting one
-			// would risk wedging the plane, so this page moves through the
-			// buses instead — the parity rule binds only the copy-back
-			// command, not the plain read/write path.
-			if f.freePages(plane) >= 2*f.geo.PagesPerBlock {
-				var ppn flash.PPN
-				ppn, err = f.nextFreePage(plane)
-				if err != nil {
-					return 0, false, err
-				}
-				if err = f.dev.WastePage(ppn); err != nil {
-					return 0, false, err
-				}
-				f.tracker.Invalidated(f.geo.BlockOf(ppn))
-				f.stats.ParityWaste++
-				if f.rec != nil {
-					f.rec.RecordEvent(obs.EvParityWaste, t)
-				}
-				continue
-			}
-			external = true
-			want = pickAny(byParity)
-		}
-		p := byParity[want][0]
-		byParity[want] = byParity[want][1:]
-		src := first + flash.PPN(p)
-		stored := f.dev.PageLPN(src)
-		var dst flash.PPN
-		dst, err = f.nextFreePage(plane)
-		if err != nil {
-			return 0, false, err
-		}
-		if external {
-			// A traditional move through the buses (Fig. 2): the E5 ablation
-			// path, also the low-space parity fallback above.
-			t, err = f.dev.ReadPage(src, t, flash.CauseGC)
-			if err != nil {
-				return 0, false, err
-			}
-			t, err = f.dev.WritePage(dst, stored, t, flash.CauseGC)
-			if err != nil {
-				return 0, false, err
-			}
-			if err = f.dev.Invalidate(src); err != nil {
-				return 0, false, err
-			}
-		} else {
-			t, err = f.dev.CopyBack(src, dst, t, flash.CauseGC)
-			if err != nil {
-				return 0, false, err
-			}
-		}
-		moved = append(moved, ftl.Moved{Stored: stored, New: dst})
-		f.stats.GCMoves++
-	}
-	t, err = f.mapper.RedirectMoved(moved, t)
-	if err != nil {
-		return 0, false, err
-	}
-	t, err = f.dev.Erase(victim, t, flash.CauseGC)
-	if err != nil {
-		return 0, false, err
-	}
-	f.tracker.Erased(victim)
-	f.pool.Put(victim)
-	f.stats.GCRuns++
-	if f.rec != nil {
-		f.rec.RecordSpan(obs.SpanGC, int32(plane), ready, t)
-	}
-	return t, true, nil
+func (h hooks) PoolLow(plane int) bool {
+	return h.f.pool.InPlane(plane) < h.f.thresholdFor(plane)
 }
+
+func (h hooks) FreePages(plane int) int { return h.f.freePages(plane) }
+
+func (h hooks) DestParity(plane int) int { return h.f.destParity(plane) }
+
+func (h hooks) NextDest(plane int, stored int64) (flash.PPN, error) {
+	return h.f.nextFreePage(plane) // striping already put the victim's pages here
+}
+
+func (h hooks) Redirect(moved []ftl.Moved, at sim.Time) (sim.Time, error) {
+	return h.f.mapper.RedirectMoved(moved, at)
+}
+
+func (h hooks) Release(victim flash.PlaneBlock) { h.f.pool.Put(victim) }
 
 // destParity returns the in-block offset parity of the next page the
 // plane's write point will hand out, mirroring nextFreePage's roll-over to a
@@ -419,14 +341,6 @@ func (f *DLOOP) destParity(plane int) int {
 		return 0
 	}
 	return wp.next % 2
-}
-
-// pickAny returns the parity class that still has pages, preferring even.
-func pickAny(byParity [2][]int) int {
-	if len(byParity[0]) > 0 {
-		return 0
-	}
-	return 1
 }
 
 // Lookup returns the current physical page of lpn without charging simulated
@@ -456,9 +370,10 @@ func NewRecovered(dev *flash.Device, cfg Config) (*DLOOP, error) {
 	}
 	f.pool = st.Pool
 	f.tracker = st.Tracker
-	// The mapper must invalidate superseded pages through the recovered
-	// tracker, not the one New wired up.
+	// The mapper and the GC engine must work through the recovered tracker,
+	// not the one New wired up.
 	f.mapper.Retarget(f, st.Tracker)
+	f.engine.Retarget(st.Tracker)
 	for _, p := range st.Partial {
 		wp := &f.cur[p.PB.Plane]
 		if wp.active {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 )
 
 // state is DLOOP's checkpoint: a deep copy of everything that changes as
@@ -14,11 +15,9 @@ type state struct {
 	pool        ftl.FreeBlocksState
 	tracker     ftl.TrackerState
 	cur         []writePoint
-	gcDepth     int
-	collecting  []bool
+	engine      gc.State
 	planeWrites []int64
 	totalWrites int64
-	stats       Stats
 }
 
 // Snapshot implements ftl.Snapshotter.
@@ -28,11 +27,9 @@ func (f *DLOOP) Snapshot() any {
 		pool:        f.pool.Snapshot(),
 		tracker:     f.tracker.Snapshot(),
 		cur:         append([]writePoint(nil), f.cur...),
-		gcDepth:     f.gcDepth,
-		collecting:  append([]bool(nil), f.collecting...),
+		engine:      f.engine.Snapshot(),
 		planeWrites: append([]int64(nil), f.planeWrites...),
 		totalWrites: f.totalWrites,
-		stats:       f.stats,
 	}
 }
 
@@ -46,10 +43,8 @@ func (f *DLOOP) Restore(snap any) error {
 	f.pool.Restore(s.pool)
 	f.tracker.Restore(s.tracker)
 	copy(f.cur, s.cur)
-	f.gcDepth = s.gcDepth
-	copy(f.collecting, s.collecting)
+	f.engine.Restore(s.engine)
 	copy(f.planeWrites, s.planeWrites)
 	f.totalWrites = s.totalWrites
-	f.stats = s.stats
 	return nil
 }

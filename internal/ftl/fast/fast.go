@@ -17,6 +17,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
@@ -30,6 +31,9 @@ type Config struct {
 	// half the device's extra blocks, minimum 4. More over-provisioning
 	// means a larger log and later, cheaper merges — the Fig. 10 trend.
 	LogBlocks int
+	// GCPolicy selects the RW log-block eviction policy (default "fifo", the
+	// original FAST order; see gc.ParsePolicy for the alternatives).
+	GCPolicy string
 }
 
 // Stats exposes FAST-specific counters.
@@ -61,8 +65,9 @@ type FAST struct {
 	rwNext   int
 	rwFull   []flash.PlaneBlock // filled RW log blocks, oldest first
 
-	stats Stats
-	rec   obs.Recorder // nil when observability is disabled
+	engine *gc.Engine // merge moves and log-victim policy picks
+	stats  Stats
+	rec    obs.Recorder // nil when observability is disabled
 }
 
 // New builds a FAST baseline over dev.
@@ -100,6 +105,17 @@ func New(dev *flash.Device, cfg Config) (*FAST, error) {
 	for i := range f.logMap {
 		f.logMap[i] = flash.InvalidPPN
 	}
+	name := cfg.GCPolicy
+	if name == "" {
+		name = gc.DefaultLogPolicy
+	}
+	policy, err := gc.ParsePolicy(name, geo.PagesPerBlock)
+	if err != nil {
+		return nil, err
+	}
+	// FAST keeps its own merge loop; the engine supplies the victim policy,
+	// the external move primitive, and the unified GC counters.
+	f.engine = gc.NewEngine(gc.Config{Dev: dev, Policy: policy})
 	return f, nil
 }
 
@@ -112,9 +128,15 @@ func (f *FAST) Capacity() ftl.LPN { return f.capacity }
 // Stats returns FAST's merge counters.
 func (f *FAST) Stats() Stats { return f.stats }
 
+// GCPolicyName reports the log-block eviction policy in effect.
+func (f *FAST) GCPolicyName() string { return f.engine.PolicyName() }
+
 // SetRecorder implements ftl.Observable: merge events and spans flow from
 // here. FAST keeps its maps in SRAM, so there is no CMT traffic to report.
-func (f *FAST) SetRecorder(r obs.Recorder) { f.rec = r }
+func (f *FAST) SetRecorder(r obs.Recorder) {
+	f.rec = r
+	f.engine.SetRecorder(r)
+}
 
 // LogBlocksInUse returns how many log blocks currently hold data.
 func (f *FAST) LogBlocksInUse() int {
@@ -412,17 +434,11 @@ func (f *FAST) eraseToPool(pb flash.PlaneBlock, ready sim.Time) (sim.Time, error
 }
 
 // copyPage is FAST's merge move: an external read + write pair through the
-// bus (FAST does not use copy-back), invalidating the source.
+// bus (FAST does not use copy-back), invalidating the source. It runs through
+// the GC engine so the unified relocation counters cover merge traffic.
 func (f *FAST) copyPage(src, dst flash.PPN, stored int64, ready sim.Time) (sim.Time, error) {
-	t, err := f.dev.ReadPage(src, ready, flash.CauseGC)
+	t, err := f.engine.MoveExternal(src, dst, stored, ready)
 	if err != nil {
-		return 0, err
-	}
-	t, err = f.dev.WritePage(dst, stored, t, flash.CauseGC)
-	if err != nil {
-		return 0, err
-	}
-	if err := f.dev.Invalidate(src); err != nil {
 		return 0, err
 	}
 	f.stats.MergeCopies++
@@ -463,16 +479,31 @@ func (f *FAST) consolidate(lbn int64, ready sim.Time) (sim.Time, error) {
 	return t, nil
 }
 
-// fullMerge evicts the oldest filled RW log block: every logical block with
-// a valid page in it is consolidated, after which the victim is erased.
+// fullMerge evicts a filled RW log block chosen by the victim policy (the
+// default fifo picks the oldest, FAST's original order): every logical block
+// with a valid page in it is consolidated, after which the victim is erased.
 func (f *FAST) fullMerge(ready sim.Time) (sim.Time, error) {
 	if len(f.rwFull) == 0 {
 		// The budget is consumed by the SW log and the active RW block;
 		// retire the SW log to make room.
 		return f.mergeSW(ready)
 	}
-	victim := f.rwFull[0]
-	f.rwFull = f.rwFull[1:]
+	cands := make([]gc.Candidate, len(f.rwFull))
+	for i, pb := range f.rwFull {
+		info := f.dev.Block(pb)
+		cands[i] = gc.Candidate{
+			PB:      pb,
+			Valid:   info.Valid,
+			Invalid: info.Invalid,
+			Age:     int64(len(f.rwFull) - i), // list order: oldest first
+			Key:     int64(i),
+		}
+	}
+	pick := gc.PickLogVictim(f.engine.Policy(), cands)
+	victim := pick.PB
+	i := int(pick.Key)
+	f.rwFull = append(f.rwFull[:i], f.rwFull[i+1:]...)
+	f.engine.RecordVictim(pick.Valid, ready)
 
 	t := ready
 	first := f.geo.FirstPPN(victim)

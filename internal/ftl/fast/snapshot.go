@@ -5,6 +5,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 )
 
 // state is FAST's checkpoint: block map, log page map, and the SW/RW log
@@ -20,6 +21,7 @@ type state struct {
 	rwBlock   flash.PlaneBlock
 	rwNext    int
 	rwFull    []flash.PlaneBlock
+	engine    gc.State
 	stats     Stats
 }
 
@@ -36,6 +38,7 @@ func (f *FAST) Snapshot() any {
 		rwBlock:   f.rwBlock,
 		rwNext:    f.rwNext,
 		rwFull:    append([]flash.PlaneBlock(nil), f.rwFull...),
+		engine:    f.engine.Snapshot(),
 		stats:     f.stats,
 	}
 }
@@ -56,6 +59,7 @@ func (f *FAST) Restore(snap any) error {
 	f.rwBlock = s.rwBlock
 	f.rwNext = s.rwNext
 	f.rwFull = append(f.rwFull[:0], s.rwFull...)
+	f.engine.Restore(s.engine)
 	f.stats = s.stats
 	return nil
 }

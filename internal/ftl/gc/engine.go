@@ -1,0 +1,404 @@
+package gc
+
+import (
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/obs"
+	"dloop/internal/sim"
+)
+
+// MoveStyle selects how the engine relocates a victim's valid pages.
+type MoveStyle uint8
+
+const (
+	// MoveCopyBack relocates with intra-plane copy-back commands, gathering
+	// sources by in-block offset parity so they match the destination write
+	// point; a destination page is deliberately wasted when only
+	// wrong-parity sources remain (the §III.A same-parity rule).
+	MoveCopyBack MoveStyle = iota
+	// MoveExternalParity relocates through the buses with plain reads and
+	// writes, draining even-offset sources before odd ones. The parity rule
+	// binds only the copy-back command, so nothing is wasted.
+	MoveExternalParity
+	// MoveOffsetOrder relocates through the buses in plain in-block offset
+	// order (DFTL's layout-oblivious loop).
+	MoveOffsetOrder
+)
+
+// Scheme is the callback surface an FTL supplies to the engine: everything
+// scheme-specific about placement and mapping, nothing about collection.
+type Scheme interface {
+	// PoolLow reports whether the plane's free-block pool is below the GC
+	// trigger watermark. Globally-pooled schemes ignore plane.
+	PoolLow(plane int) bool
+	// FreePages counts the writable pages currently available to the
+	// plane's write point: whole pool blocks plus the open block's
+	// unwritten tail.
+	FreePages(plane int) int
+	// DestParity returns the in-block offset parity of the next page the
+	// plane's write point will hand out.
+	DestParity(plane int) int
+	// NextDest allocates the next destination page on the plane's write
+	// point for a relocated (or wasted) page tagged stored.
+	NextDest(plane int, stored int64) (flash.PPN, error)
+	// Redirect commits completed relocations to the scheme's mapping
+	// structures. It charges no flash traffic by itself (lazy, OOB-backed
+	// redirection) and returns the time the collection may proceed.
+	Redirect(moved []ftl.Moved, at sim.Time) (sim.Time, error)
+	// Release returns the erased victim to the scheme's free pool.
+	Release(victim flash.PlaneBlock)
+}
+
+// Stats counts the engine's activity. Schemes derive their public GC
+// counters from it.
+type Stats struct {
+	Runs        int64 // collections completed
+	Moves       int64 // valid pages relocated
+	CopyBacks   int64 // moves done with intra-plane copy-back
+	External    int64 // moves done with read-transfer-write through the buses
+	ParityWaste int64 // destination pages wasted to satisfy the parity rule
+}
+
+// VictimRecorder is the optional observability hook for the per-victim
+// valid-count histogram; the obs Collector implements it.
+type VictimRecorder interface {
+	RecordGCVictim(valid int, at sim.Time)
+}
+
+// Config wires an Engine to its scheme.
+type Config struct {
+	Dev    *flash.Device
+	Policy VictimPolicy
+	// Tracker indexes the closed-block candidates. Hybrid schemes that only
+	// use the engine for moves and log-victim picks leave it nil.
+	Tracker *ftl.Tracker
+	// Scheme is the owning FTL's callback surface; nil for hybrid schemes.
+	Scheme Scheme
+	// PerPlane selects per-plane triggers and victim pools (DLOOP-style
+	// striped placement); otherwise trigger and victim search are
+	// device-wide and destinations come from write point 0.
+	PerPlane bool
+	// ProgressGuard breaks the collect loop when a collection's destination
+	// pages (moves plus parity waste) consumed everything it freed —
+	// retrying immediately would livelock.
+	ProgressGuard bool
+	Style         MoveStyle
+	// LowSpaceExternal moves a wrong-parity page through the buses instead
+	// of wasting a destination page when the plane is critically low on
+	// free pages (under two blocks' worth). Without it mismatches always
+	// waste.
+	LowSpaceExternal bool
+}
+
+// Engine owns garbage collection for one FTL instance. Not safe for
+// concurrent use.
+type Engine struct {
+	dev    *flash.Device
+	geo    flash.Geometry
+	cfg    Config
+	policy VictimPolicy
+
+	tracker *ftl.Tracker
+	source  *TrackerSource
+	scheme  Scheme
+
+	depth      int    // nesting level of active collections
+	collecting []bool // per plane: a collection is running here
+
+	stats     Stats
+	rec       obs.Recorder   // nil when observability is disabled
+	victimRec VictimRecorder // non-nil only when rec implements it
+}
+
+// NewEngine builds an engine; hybrid schemes may leave Tracker and Scheme
+// nil and use only MoveExternal, RecordVictim, and PickLogVictim.
+func NewEngine(cfg Config) *Engine {
+	geo := cfg.Dev.Geometry()
+	e := &Engine{
+		dev:        cfg.Dev,
+		geo:        geo,
+		cfg:        cfg,
+		policy:     cfg.Policy,
+		tracker:    cfg.Tracker,
+		scheme:     cfg.Scheme,
+		collecting: make([]bool, geo.Planes()),
+	}
+	if cfg.Tracker != nil {
+		e.source = NewTrackerSource(cfg.Tracker, geo.PagesPerBlock)
+	}
+	return e
+}
+
+// SetRecorder attaches (or, with nil, detaches) an observability recorder.
+func (e *Engine) SetRecorder(r obs.Recorder) {
+	e.rec = r
+	e.victimRec = nil
+	if vr, ok := r.(VictimRecorder); ok {
+		e.victimRec = vr
+	}
+}
+
+// PolicyName reports the victim-selection policy in effect.
+func (e *Engine) PolicyName() string { return e.policy.Name() }
+
+// Policy returns the victim policy; hybrid schemes pass it to PickLogVictim.
+func (e *Engine) Policy() VictimPolicy { return e.policy }
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Idle reports that no collection is active on the plane (or anywhere, for
+// nested placement). Schemes consult it before triggering collection from
+// their placement path; it is pure defense against reentry, since
+// collections allocate destinations directly and never place through the
+// host path.
+func (e *Engine) Idle(plane int) bool { return e.depth == 0 && !e.collecting[plane] }
+
+// Retarget repoints the engine at a rebuilt tracker; recovery uses it after
+// an OOB scan replaces the scheme's structures.
+func (e *Engine) Retarget(tr *ftl.Tracker) {
+	e.tracker = tr
+	e.source.Retarget(tr)
+}
+
+// MaybeCollect runs collections on the plane until its pool is above the
+// trigger watermark, nothing is reclaimable, or (with ProgressGuard) a
+// collection makes no net progress. It returns the time placement may
+// proceed.
+func (e *Engine) MaybeCollect(plane int, ready sim.Time) (sim.Time, error) {
+	t := ready
+	for e.scheme.PoolLow(plane) {
+		var before int
+		if e.cfg.ProgressGuard {
+			before = e.scheme.FreePages(plane)
+		}
+		end, reclaimed, err := e.collectOnce(plane, t)
+		if err != nil {
+			return 0, err
+		}
+		if !reclaimed {
+			break // nothing invalid to reclaim
+		}
+		t = end
+		if e.cfg.ProgressGuard && e.scheme.FreePages(plane) <= before {
+			// The collection's destination pages (moves plus parity waste)
+			// consumed everything it freed. Retrying immediately would
+			// livelock; break and let the invalid pages host updates keep
+			// creating make the next collection profitable.
+			break
+		}
+	}
+	return t, nil
+}
+
+// collectOnce runs one garbage collection: pick a victim by policy, relocate
+// its valid pages per the move style, redirect the mappings, erase, and
+// release the block.
+func (e *Engine) collectOnce(plane int, ready sim.Time) (end sim.Time, reclaimed bool, err error) {
+	pickPlane := plane
+	if !e.cfg.PerPlane {
+		pickPlane = GlobalPlane
+	}
+	cand, ok := e.policy.Pick(e.source, pickPlane)
+	if !ok {
+		return ready, false, nil
+	}
+	victim := cand.PB
+	e.tracker.Take(victim)
+	e.depth++
+	e.collecting[victim.Plane] = true
+	defer func() {
+		e.depth--
+		e.collecting[victim.Plane] = false
+	}()
+	if e.victimRec != nil {
+		e.victimRec.RecordGCVictim(cand.Valid, ready)
+	}
+
+	destPlane := 0
+	if e.cfg.PerPlane {
+		destPlane = victim.Plane
+	}
+	t := ready
+	var moved []ftl.Moved
+	first := e.geo.FirstPPN(victim)
+	ppb := e.geo.PagesPerBlock
+
+	if e.cfg.Style == MoveOffsetOrder {
+		for p := 0; p < ppb; p++ {
+			src := first + flash.PPN(p)
+			if e.dev.PageState(src) != flash.PageValid {
+				continue
+			}
+			stored := e.dev.PageLPN(src)
+			var dst flash.PPN
+			dst, err = e.scheme.NextDest(destPlane, stored)
+			if err != nil {
+				return 0, false, err
+			}
+			t, err = e.moveExternal(src, dst, stored, t)
+			if err != nil {
+				return 0, false, err
+			}
+			moved = append(moved, ftl.Moved{Stored: stored, New: dst})
+		}
+	} else {
+		// Gather the victim's valid pages by in-block offset parity. Moves
+		// are ordered so the source parity matches the destination write
+		// point whenever possible; a page is wasted only when the remaining
+		// pages are all of the "wrong" parity — §III.A's worst case of about
+		// m/2 wasted pages when m same-parity pages must move.
+		var byParity [2][]int
+		for p := 0; p < ppb; p++ {
+			if e.dev.PageState(first+flash.PPN(p)) == flash.PageValid {
+				byParity[p%2] = append(byParity[p%2], p)
+			}
+		}
+		for len(byParity[0])+len(byParity[1]) > 0 {
+			external := e.cfg.Style == MoveExternalParity
+			var want int
+			if external {
+				want = pickAny(byParity) // parity is a copy-back-only restriction
+			} else {
+				want = e.scheme.DestParity(destPlane)
+				if len(byParity[want]) == 0 {
+					// Only wrong-parity sources remain. Normally the engine
+					// wastes one destination page to flip the write point's
+					// parity. When the plane is critically low on free
+					// pages, wasting one would risk wedging the plane, so
+					// (with LowSpaceExternal) this page moves through the
+					// buses instead.
+					if !e.cfg.LowSpaceExternal || e.scheme.FreePages(destPlane) >= 2*ppb {
+						var dst flash.PPN
+						dst, err = e.scheme.NextDest(destPlane, 0)
+						if err != nil {
+							return 0, false, err
+						}
+						if err = e.dev.WastePage(dst); err != nil {
+							return 0, false, err
+						}
+						e.tracker.Invalidated(e.geo.BlockOf(dst))
+						e.stats.ParityWaste++
+						if e.rec != nil {
+							e.rec.RecordEvent(obs.EvParityWaste, t)
+						}
+						continue
+					}
+					external = true
+					want = pickAny(byParity)
+				}
+			}
+			p := byParity[want][0]
+			byParity[want] = byParity[want][1:]
+			src := first + flash.PPN(p)
+			stored := e.dev.PageLPN(src)
+			var dst flash.PPN
+			dst, err = e.scheme.NextDest(destPlane, stored)
+			if err != nil {
+				return 0, false, err
+			}
+			if external {
+				t, err = e.moveExternal(src, dst, stored, t)
+				if err != nil {
+					return 0, false, err
+				}
+			} else {
+				t, err = e.dev.CopyBack(src, dst, t, flash.CauseGC)
+				if err != nil {
+					return 0, false, err
+				}
+				e.stats.Moves++
+				e.stats.CopyBacks++
+				if e.rec != nil {
+					e.rec.RecordEvent(obs.EvGCCopyBack, t)
+				}
+			}
+			moved = append(moved, ftl.Moved{Stored: stored, New: dst})
+		}
+	}
+
+	t, err = e.scheme.Redirect(moved, t)
+	if err != nil {
+		return 0, false, err
+	}
+	t, err = e.dev.Erase(victim, t, flash.CauseGC)
+	if err != nil {
+		return 0, false, err
+	}
+	e.tracker.Erased(victim)
+	e.scheme.Release(victim)
+	e.stats.Runs++
+	if e.rec != nil {
+		e.rec.RecordSpan(obs.SpanGC, int32(victim.Plane), ready, t)
+	}
+	return t, true, nil
+}
+
+// MoveExternal relocates one valid page through the buses with a read +
+// write pair and invalidates the source. Hybrid FTLs drive their merge
+// copies through it so the engine's counters and observability events cover
+// every relocation in the system.
+func (e *Engine) MoveExternal(src, dst flash.PPN, stored int64, ready sim.Time) (sim.Time, error) {
+	return e.moveExternal(src, dst, stored, ready)
+}
+
+func (e *Engine) moveExternal(src, dst flash.PPN, stored int64, ready sim.Time) (sim.Time, error) {
+	t, err := e.dev.ReadPage(src, ready, flash.CauseGC)
+	if err != nil {
+		return 0, err
+	}
+	t, err = e.dev.WritePage(dst, stored, t, flash.CauseGC)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.dev.Invalidate(src); err != nil {
+		return 0, err
+	}
+	e.stats.Moves++
+	e.stats.External++
+	if e.rec != nil {
+		e.rec.RecordEvent(obs.EvGCExternalMove, t)
+	}
+	return t, nil
+}
+
+// RecordVictim feeds the per-victim valid-count histogram; hybrid FTLs call
+// it for their merge victims (the engine's own collections record theirs
+// internally).
+func (e *Engine) RecordVictim(valid int, at sim.Time) {
+	if e.victimRec != nil {
+		e.victimRec.RecordGCVictim(valid, at)
+	}
+}
+
+// pickAny returns the parity class that still has pages, preferring even.
+func pickAny(byParity [2][]int) int {
+	if len(byParity[0]) > 0 {
+		return 0
+	}
+	return 1
+}
+
+// State is a deep copy of the engine's mutable state, for checkpoint/fork.
+type State struct {
+	depth      int
+	collecting []bool
+	stats      Stats
+}
+
+// Snapshot captures the engine's reentrancy guards and counters. The
+// tracker is scheme-owned state and is snapshotted by the scheme.
+func (e *Engine) Snapshot() State {
+	return State{
+		depth:      e.depth,
+		collecting: append([]bool(nil), e.collecting...),
+		stats:      e.stats,
+	}
+}
+
+// Restore rewinds the engine to a snapshot.
+func (e *Engine) Restore(s State) {
+	e.depth = s.depth
+	copy(e.collecting, s.collecting)
+	e.stats = s.stats
+}

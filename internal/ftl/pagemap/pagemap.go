@@ -17,6 +17,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
@@ -31,6 +32,9 @@ type Config struct {
 	// copy-back GC). False selects DFTL-style plane-oblivious appending
 	// with external GC moves.
 	Striped bool
+	// GCPolicy selects the garbage-collection victim policy (default
+	// "greedy"; see gc.ParsePolicy for the alternatives).
+	GCPolicy string
 }
 
 func (c *Config) setDefaults() {
@@ -63,10 +67,9 @@ type PureMap struct {
 	pool    *ftl.FreeBlocks
 	tracker *ftl.Tracker
 	cur     []writePoint // per plane when striped; index 0 otherwise
-	inGC    bool
+	engine  *gc.Engine   // owns the collect loop and reentrancy guards
 
-	stats Stats
-	rec   obs.Recorder // nil when observability is disabled
+	rec obs.Recorder // nil when observability is disabled
 }
 
 // New builds an ideal page-mapping FTL over dev.
@@ -89,6 +92,29 @@ func New(dev *flash.Device, cfg Config) (*PureMap, error) {
 	for i := range f.table {
 		f.table[i] = flash.InvalidPPN
 	}
+	name := cfg.GCPolicy
+	if name == "" {
+		name = gc.DefaultPagePolicy
+	}
+	policy, err := gc.ParsePolicy(name, geo.PagesPerBlock)
+	if err != nil {
+		return nil, err
+	}
+	style := gc.MoveExternalParity
+	if cfg.Striped {
+		style = gc.MoveCopyBack
+	}
+	f.engine = gc.NewEngine(gc.Config{
+		Dev:           dev,
+		Policy:        policy,
+		Tracker:       f.tracker,
+		Scheme:        hooks{f},
+		PerPlane:      cfg.Striped,
+		ProgressGuard: true,
+		Style:         style,
+		// Unlike DLOOP, the striped ideal always wastes on parity mismatch
+		// (no low-space external fallback), so LowSpaceExternal stays false.
+	})
 	return f, nil
 }
 
@@ -103,12 +129,21 @@ func (f *PureMap) Name() string {
 // Capacity implements ftl.FTL.
 func (f *PureMap) Capacity() ftl.LPN { return f.capacity }
 
-// Stats returns the ideal FTL's counters.
-func (f *PureMap) Stats() Stats { return f.stats }
+// Stats returns the ideal FTL's counters, derived from the GC engine.
+func (f *PureMap) Stats() Stats {
+	es := f.engine.Stats()
+	return Stats{GCRuns: es.Runs, GCMoves: es.Moves, ParityWaste: es.ParityWaste}
+}
+
+// GCPolicyName reports the victim-selection policy in effect.
+func (f *PureMap) GCPolicyName() string { return f.engine.PolicyName() }
 
 // SetRecorder implements ftl.Observable. PureMap has no CMT, so only GC
 // spans and parity-waste events flow.
-func (f *PureMap) SetRecorder(r obs.Recorder) { f.rec = r }
+func (f *PureMap) SetRecorder(r obs.Recorder) {
+	f.rec = r
+	f.engine.SetRecorder(r)
+}
 
 // Lookup returns the current physical page of lpn without side effects.
 func (f *PureMap) Lookup(lpn ftl.LPN) flash.PPN {
@@ -144,8 +179,8 @@ func (f *PureMap) WritePage(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
 	}
 	t := ready
 	var err error
-	if !f.inGC {
-		t, err = f.maybeCollect(f.planeFor(lpn), t)
+	if f.engine.Idle(f.planeFor(lpn)) {
+		t, err = f.engine.MaybeCollect(f.planeFor(lpn), t)
 		if err != nil {
 			return 0, err
 		}
@@ -229,123 +264,28 @@ func (f *PureMap) freePages(plane int) int {
 	return n
 }
 
-func (f *PureMap) maybeCollect(plane int, ready sim.Time) (sim.Time, error) {
-	t := ready
-	for f.poolLow(plane) {
-		before := f.freePages(plane)
-		end, reclaimed, err := f.collect(plane, t)
-		if err != nil {
-			return 0, err
-		}
-		if !reclaimed {
-			break
-		}
-		t = end
-		if f.freePages(plane) <= before {
-			break // no net progress (parity waste ate the reclaim); retry on the next write
-		}
-	}
-	return t, nil
+// hooks adapts PureMap's pools and write points to the GC engine's Scheme
+// surface. Striped mode collects per plane with copy-back (always wasting on
+// parity mismatch); unstriped mode collects globally with external moves.
+type hooks struct{ f *PureMap }
+
+func (h hooks) PoolLow(plane int) bool { return h.f.poolLow(plane) }
+
+func (h hooks) FreePages(plane int) int { return h.f.freePages(plane) }
+
+func (h hooks) DestParity(plane int) int { return h.f.destParity(plane) }
+
+func (h hooks) NextDest(plane int, stored int64) (flash.PPN, error) {
+	// Striped collections pass the victim's plane; unstriped ones pass 0,
+	// which is exactly the global write point's slot.
+	return h.f.nextFreePage(plane)
 }
 
-func (f *PureMap) collect(plane int, ready sim.Time) (end sim.Time, reclaimed bool, err error) {
-	var victim flash.PlaneBlock
-	var ok bool
-	if f.cfg.Striped {
-		victim, _, ok = f.tracker.MaxInPlane(plane)
-	} else {
-		victim, _, ok = f.tracker.MaxGlobal()
+func (h hooks) Redirect(moved []ftl.Moved, at sim.Time) (sim.Time, error) {
+	for _, mv := range moved {
+		h.f.table[mv.Stored] = mv.New // translation is free: the table is SRAM
 	}
-	if !ok {
-		return ready, false, nil
-	}
-	f.tracker.Take(victim)
-	f.inGC = true
-	defer func() { f.inGC = false }()
-
-	t := ready
-	first := f.geo.FirstPPN(victim)
-	// Striped mode orders moves so the source parity matches the write
-	// point (same scheme as DLOOP): a page is wasted only when the
-	// remaining pages are all of the wrong parity.
-	var byParity [2][]int
-	for p := 0; p < f.geo.PagesPerBlock; p++ {
-		if f.dev.PageState(first+flash.PPN(p)) == flash.PageValid {
-			byParity[p%2] = append(byParity[p%2], p)
-		}
-	}
-	for len(byParity[0])+len(byParity[1]) > 0 {
-		var p int
-		if f.cfg.Striped {
-			want := f.destParity(victim.Plane)
-			if len(byParity[want]) == 0 {
-				var dst flash.PPN
-				dst, err = f.nextFreePage(victim.Plane)
-				if err != nil {
-					return 0, false, err
-				}
-				if err = f.dev.WastePage(dst); err != nil {
-					return 0, false, err
-				}
-				f.tracker.Invalidated(f.geo.BlockOf(dst))
-				f.stats.ParityWaste++
-				if f.rec != nil {
-					f.rec.RecordEvent(obs.EvParityWaste, t)
-				}
-				continue
-			}
-			p = byParity[want][0]
-			byParity[want] = byParity[want][1:]
-		} else {
-			if len(byParity[0]) > 0 {
-				p = byParity[0][0]
-				byParity[0] = byParity[0][1:]
-			} else {
-				p = byParity[1][0]
-				byParity[1] = byParity[1][1:]
-			}
-		}
-		src := first + flash.PPN(p)
-		lpn := ftl.LPN(f.dev.PageLPN(src))
-		var dst flash.PPN
-		if f.cfg.Striped {
-			dst, err = f.nextFreePage(victim.Plane)
-			if err != nil {
-				return 0, false, err
-			}
-			t, err = f.dev.CopyBack(src, dst, t, flash.CauseGC)
-			if err != nil {
-				return 0, false, err
-			}
-		} else {
-			dst, err = f.nextFreePage(0)
-			if err != nil {
-				return 0, false, err
-			}
-			t, err = f.dev.ReadPage(src, t, flash.CauseGC)
-			if err != nil {
-				return 0, false, err
-			}
-			t, err = f.dev.WritePage(dst, int64(lpn), t, flash.CauseGC)
-			if err != nil {
-				return 0, false, err
-			}
-			if err = f.dev.Invalidate(src); err != nil {
-				return 0, false, err
-			}
-		}
-		f.table[lpn] = dst
-		f.stats.GCMoves++
-	}
-	t, err = f.dev.Erase(victim, t, flash.CauseGC)
-	if err != nil {
-		return 0, false, err
-	}
-	f.tracker.Erased(victim)
-	f.pool.Put(victim)
-	f.stats.GCRuns++
-	if f.rec != nil {
-		f.rec.RecordSpan(obs.SpanGC, int32(victim.Plane), ready, t)
-	}
-	return t, true, nil
+	return at, nil
 }
+
+func (h hooks) Release(victim flash.PlaneBlock) { h.f.pool.Put(victim) }

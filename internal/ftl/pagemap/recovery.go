@@ -1,0 +1,39 @@
+package pagemap
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+)
+
+// NewRecovered rebuilds the ideal page-mapping FTL from an existing device's
+// out-of-band page tags after a simulated power loss. The full table is
+// reconstructed by the scan; partial blocks resume as write points (one per
+// plane when striped, one global otherwise).
+func NewRecovered(dev *flash.Device, cfg Config) (*PureMap, error) {
+	f, err := New(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := ftl.ScanOOB(dev, f.capacity, 0)
+	if err != nil {
+		return nil, err
+	}
+	copy(f.table, st.Table)
+	f.pool = st.Pool
+	f.tracker = st.Tracker
+	f.engine.Retarget(st.Tracker)
+	for _, p := range st.Partial {
+		slot := 0
+		if f.cfg.Striped {
+			slot = p.PB.Plane
+		}
+		wp := &f.cur[slot]
+		if wp.active {
+			return nil, fmt.Errorf("pagemap: recovery found two partial blocks for write point %d", slot)
+		}
+		wp.pb, wp.next, wp.active = p.PB, p.NextWrite, true
+	}
+	return f, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
 )
 
 // state is PureMap's checkpoint: the in-SRAM table plus pool, tracker, and
@@ -14,8 +15,7 @@ type state struct {
 	pool    ftl.FreeBlocksState
 	tracker ftl.TrackerState
 	cur     []writePoint
-	inGC    bool
-	stats   Stats
+	engine  gc.State
 }
 
 // Snapshot implements ftl.Snapshotter.
@@ -25,8 +25,7 @@ func (f *PureMap) Snapshot() any {
 		pool:    f.pool.Snapshot(),
 		tracker: f.tracker.Snapshot(),
 		cur:     append([]writePoint(nil), f.cur...),
-		inGC:    f.inGC,
-		stats:   f.stats,
+		engine:  f.engine.Snapshot(),
 	}
 }
 
@@ -40,7 +39,6 @@ func (f *PureMap) Restore(snap any) error {
 	f.pool.Restore(s.pool)
 	f.tracker.Restore(s.tracker)
 	copy(f.cur, s.cur)
-	f.inGC = s.inGC
-	f.stats = s.stats
+	f.engine.Restore(s.engine)
 	return nil
 }

@@ -18,6 +18,10 @@ type Tracker struct {
 	buckets [][][]int32
 	// buckets[plane][count] holds in-plane block ids of closed candidates
 	maxCount []int // per plane: highest count whose bucket may be non-empty
+	closeSeq []int64
+	seq      int64 // monotone close counter; closeSeq[bi] records each block's
+	// close order so age-aware victim policies (cost-benefit, FIFO) can rank
+	// candidates without timestamps
 }
 
 // NewTracker returns a tracker with no candidates and all-zero counts.
@@ -28,6 +32,7 @@ func NewTracker(geo flash.Geometry) *Tracker {
 		inBkt:    make([]int32, geo.TotalBlocks()),
 		buckets:  make([][][]int32, geo.Planes()),
 		maxCount: make([]int, geo.Planes()),
+		closeSeq: make([]int64, geo.TotalBlocks()),
 	}
 	for i := range t.inBkt {
 		t.inBkt[i] = -1
@@ -55,6 +60,8 @@ func (t *Tracker) Close(pb flash.PlaneBlock) {
 	if t.inBkt[bi] >= 0 {
 		panic(fmt.Sprintf("ftl: Tracker.Close of candidate %v", pb))
 	}
+	t.seq++
+	t.closeSeq[bi] = t.seq
 	t.addBucket(pb, int(t.invalid[bi]))
 }
 
@@ -109,12 +116,42 @@ func (t *Tracker) MaxGlobal() (pb flash.PlaneBlock, invalid int, ok bool) {
 	return pb, best, ok
 }
 
+// Planes returns the number of planes the tracker indexes.
+func (t *Tracker) Planes() int { return len(t.buckets) }
+
+// Age returns how long ago pb was closed, in close events: the number of
+// blocks closed since pb (0 = most recently closed). Meaningful only for
+// current candidates.
+func (t *Tracker) Age(pb flash.PlaneBlock) int64 {
+	return t.seq - t.closeSeq[t.geo.BlockIndex(pb)]
+}
+
+// ForEachCandidate calls fn for every candidate on one plane that has at
+// least one invalid page (blocks with zero invalid pages are never victims,
+// matching MaxInPlane). Iteration order is deterministic: descending invalid
+// count, LIFO within a bucket — so the first visit is exactly MaxInPlane's
+// pick. fn receives the block, its invalid count, and its close age.
+func (t *Tracker) ForEachCandidate(plane int, fn func(pb flash.PlaneBlock, invalid int, age int64) bool) {
+	bkts := t.buckets[plane]
+	for c := len(bkts) - 1; c >= 1; c-- {
+		bkt := bkts[c]
+		for i := len(bkt) - 1; i >= 0; i-- {
+			pb := flash.PlaneBlock{Plane: plane, Block: int(bkt[i])}
+			if !fn(pb, c, t.Age(pb)) {
+				return
+			}
+		}
+	}
+}
+
 // TrackerState is a deep copy of a tracker, for checkpoint/fork.
 type TrackerState struct {
 	invalid  []int32
 	inBkt    []int32
 	buckets  [][][]int32
 	maxCount []int
+	closeSeq []int64
+	seq      int64
 }
 
 // Snapshot captures the tracker's candidate index.
@@ -124,6 +161,8 @@ func (t *Tracker) Snapshot() TrackerState {
 		inBkt:    append([]int32(nil), t.inBkt...),
 		buckets:  make([][][]int32, len(t.buckets)),
 		maxCount: append([]int(nil), t.maxCount...),
+		closeSeq: append([]int64(nil), t.closeSeq...),
+		seq:      t.seq,
 	}
 	for p, bkts := range t.buckets {
 		s.buckets[p] = make([][]int32, len(bkts))
@@ -141,6 +180,8 @@ func (t *Tracker) Restore(s TrackerState) {
 	copy(t.invalid, s.invalid)
 	copy(t.inBkt, s.inBkt)
 	copy(t.maxCount, s.maxCount)
+	copy(t.closeSeq, s.closeSeq)
+	t.seq = s.seq
 	for p, bkts := range s.buckets {
 		for c, bkt := range bkts {
 			t.buckets[p][c] = append(t.buckets[p][c][:0], bkt...)

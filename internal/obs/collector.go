@@ -12,9 +12,15 @@ import (
 type Options struct {
 	// FTL labels the registry with the scheme under observation.
 	FTL string
+	// GCPolicy labels the registry with the victim-selection policy in
+	// effect (empty when the scheme does not report one).
+	GCPolicy string
 	// Planes and Channels size the per-plane and per-channel vectors.
 	Planes   int
 	Channels int
+	// PagesPerBlock sizes the per-victim valid-count histogram
+	// (gc.victim_valid); 0 disables it.
+	PagesPerBlock int
 	// ChannelOfPlane maps plane index -> channel index; the trace exporter
 	// uses it to group plane tracks under their channel. When nil every
 	// plane renders under channel 0.
@@ -55,6 +61,7 @@ type Collector struct {
 	planeOps    *CounterVec
 	planeErases *CounterVec
 	chanOps     *CounterVec
+	victimValid *CounterVec // victims by valid-page count; nil without PagesPerBlock
 
 	tr    *TraceWriter
 	oplog *OpLog
@@ -89,6 +96,9 @@ func NewCollector(opts Options) *Collector {
 	if opts.FTL != "" {
 		c.reg.SetLabel("ftl", opts.FTL)
 	}
+	if opts.GCPolicy != "" {
+		c.reg.SetLabel("gc.policy", opts.GCPolicy)
+	}
 	for k := OpKind(0); k < NumOpKinds; k++ {
 		for cz := Cause(0); cz < NumCauses; cz++ {
 			c.ops[k][cz] = c.reg.Counter("flash." + k.String() + "." + cz.String())
@@ -107,6 +117,9 @@ func NewCollector(opts Options) *Collector {
 	c.planeOps = c.reg.CounterVec("plane.ops", "plane", opts.Planes)
 	c.planeErases = c.reg.CounterVec("plane.erases", "plane", opts.Planes)
 	c.chanOps = c.reg.CounterVec("channel.ops", "channel", opts.Channels)
+	if opts.PagesPerBlock > 0 {
+		c.victimValid = c.reg.CounterVec("gc.victim_valid", "valid", opts.PagesPerBlock+1)
+	}
 	c.qScheduled = c.reg.Counter("sim.events.scheduled")
 	c.qFired = c.reg.Counter("sim.events.fired")
 	c.planeCum = make([]int64, opts.Planes)
@@ -164,6 +177,22 @@ func (c *Collector) RecordOp(op Op) {
 // RecordEvent implements Recorder.
 func (c *Collector) RecordEvent(kind EventKind, at sim.Time) {
 	c.events[kind].Inc()
+	c.advance(at)
+}
+
+// RecordGCVictim implements the GC engine's VictimRecorder: it feeds the
+// per-victim valid-page-count histogram (no-op without Options.PagesPerBlock).
+func (c *Collector) RecordGCVictim(valid int, at sim.Time) {
+	if c.victimValid == nil {
+		return
+	}
+	if valid < 0 {
+		valid = 0
+	}
+	if max := c.opts.PagesPerBlock; valid > max {
+		valid = max
+	}
+	c.victimValid.Inc(valid)
 	c.advance(at)
 }
 

@@ -106,6 +106,8 @@ const (
 	EvSwitchMerge
 	EvPartialMerge
 	EvFullMerge
+	EvGCCopyBack
+	EvGCExternalMove
 	NumEventKinds
 )
 
@@ -127,6 +129,10 @@ func (e EventKind) String() string {
 		return "merge.partial"
 	case EvFullMerge:
 		return "merge.full"
+	case EvGCCopyBack:
+		return "gc.copyback"
+	case EvGCExternalMove:
+		return "gc.external_move"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(e))
 	}

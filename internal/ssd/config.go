@@ -51,6 +51,11 @@ type Config struct {
 	CMTEntries int
 	// GCThreshold is the free-block trigger (the paper's 3).
 	GCThreshold int
+	// GCPolicy selects the garbage-collection victim policy for every
+	// scheme: "greedy" (default for the page-mapping FTLs), "costbenefit",
+	// "windowed", or "fifo" (default log-block eviction of FAST/BAST).
+	// Empty keeps each scheme's historical default.
+	GCPolicy string
 	// DisableCopyBack runs DLOOP's E5 ablation (external GC moves).
 	DisableCopyBack bool
 	// AdaptiveGC runs DLOOP's E7 extension (hot-plane-aware thresholds).
@@ -205,28 +210,33 @@ func Build(cfg Config) (*Controller, error) {
 			DisableCopyBack: cfg.DisableCopyBack,
 			AdaptiveGC:      cfg.AdaptiveGC,
 			StripeBy:        dloop.Striping(cfg.StripeBy),
+			GCPolicy:        cfg.GCPolicy,
 		})
 	case SchemeDFTL:
 		f, err = dftl.New(dev, dftl.Config{
 			CMTEntries:    cfg.CMTEntries,
 			GCThreshold:   cfg.GCThreshold,
 			ExtraPerPlane: extra,
+			GCPolicy:      cfg.GCPolicy,
 		})
 	case SchemeFAST:
 		f, err = fast.New(dev, fast.Config{
 			ExtraPerPlane: extra,
 			LogBlocks:     cfg.LogBlocks,
+			GCPolicy:      cfg.GCPolicy,
 		})
 	case SchemeBAST:
 		f, err = bast.New(dev, bast.Config{
 			ExtraPerPlane: extra,
 			LogBlocks:     cfg.LogBlocks,
+			GCPolicy:      cfg.GCPolicy,
 		})
 	case SchemePureMap, SchemePureMapStriped:
 		f, err = pagemap.New(dev, pagemap.Config{
 			GCThreshold:   cfg.GCThreshold,
 			ExtraPerPlane: extra,
 			Striped:       cfg.FTL == SchemePureMapStriped,
+			GCPolicy:      cfg.GCPolicy,
 		})
 	default:
 		err = fmt.Errorf("ssd: unknown FTL %q (want %v)", cfg.FTL, Schemes())
@@ -289,8 +299,10 @@ func ExportedBytes(cfg Config) (int64, error) {
 // Recover simulates a power loss: it builds a fresh controller over c's
 // device with all SRAM state (mapping table, GTD, CMT, pools, write points)
 // rebuilt from the out-of-band page tags, the way a real controller comes
-// back up. Supported for the page-mapping schemes (DLOOP, DFTL); FAST-style
-// hybrids store extra block metadata this model does not capture.
+// back up. Page-mapping schemes (DLOOP, DFTL, PureMap) rebuild their exact
+// tables; the hybrids (FAST, BAST) keep block-role metadata the OOB tags do
+// not capture, so their recovery reconstructs an equivalent — not identical —
+// assignment of data and log blocks (see each scheme's NewRecovered).
 func (c *Controller) Recover() (*Controller, error) {
 	cfg := c.cfg
 	cfg.setDefaults()
@@ -311,15 +323,36 @@ func (c *Controller) Recover() (*Controller, error) {
 			DisableCopyBack: cfg.DisableCopyBack,
 			AdaptiveGC:      cfg.AdaptiveGC,
 			StripeBy:        dloop.Striping(cfg.StripeBy),
+			GCPolicy:        cfg.GCPolicy,
 		})
 	case SchemeDFTL:
 		f, err = dftl.NewRecovered(c.dev, dftl.Config{
 			CMTEntries:    cfg.CMTEntries,
 			GCThreshold:   cfg.GCThreshold,
 			ExtraPerPlane: extra,
+			GCPolicy:      cfg.GCPolicy,
+		})
+	case SchemeFAST:
+		f, err = fast.NewRecovered(c.dev, fast.Config{
+			ExtraPerPlane: extra,
+			LogBlocks:     cfg.LogBlocks,
+			GCPolicy:      cfg.GCPolicy,
+		})
+	case SchemeBAST:
+		f, err = bast.NewRecovered(c.dev, bast.Config{
+			ExtraPerPlane: extra,
+			LogBlocks:     cfg.LogBlocks,
+			GCPolicy:      cfg.GCPolicy,
+		})
+	case SchemePureMap, SchemePureMapStriped:
+		f, err = pagemap.NewRecovered(c.dev, pagemap.Config{
+			GCThreshold:   cfg.GCThreshold,
+			ExtraPerPlane: extra,
+			Striped:       cfg.FTL == SchemePureMapStriped,
+			GCPolicy:      cfg.GCPolicy,
 		})
 	default:
-		err = fmt.Errorf("ssd: recovery not supported for %s (hybrid FTLs need block metadata beyond OOB page tags)", cfg.FTL)
+		err = fmt.Errorf("ssd: unknown FTL %q (want %v)", cfg.FTL, Schemes())
 	}
 	if err != nil {
 		return nil, err

@@ -86,12 +86,17 @@ func (c *Controller) Config() Config { return c.cfg }
 // snapshot interval before obs.NewCollector.
 func (c *Controller) ObsOptions() obs.Options {
 	geo := c.dev.Geometry()
-	return obs.Options{
+	opts := obs.Options{
 		FTL:            c.f.Name(),
 		Planes:         geo.Planes(),
 		Channels:       geo.Channels,
 		ChannelOfPlane: c.dev.ChannelOfPlane(),
+		PagesPerBlock:  geo.PagesPerBlock,
 	}
+	if p, ok := c.f.(interface{ GCPolicyName() string }); ok {
+		opts.GCPolicy = p.GCPolicyName()
+	}
+	return opts
 }
 
 // SetRecorder attaches (or, with nil, detaches) an observability recorder to
@@ -262,6 +267,7 @@ func isEOF(err error) bool { return errors.Is(err, io.EOF) }
 // Result summarizes a measurement window.
 type Result struct {
 	FTL        string
+	GCPolicy   string // victim-selection policy in effect ("" if not reported)
 	Requests   int64
 	PagesRead  int64
 	PagesWrit  int64
@@ -318,6 +324,9 @@ func (c *Controller) Result() Result {
 		CopyBacks:   ds.CopyBacks(),
 		Erases:      ds.Erases(),
 		WastedPages: ds.WastedPages,
+	}
+	if p, ok := c.f.(interface{ GCPolicyName() string }); ok {
+		res.GCPolicy = p.GCPolicyName()
 	}
 	res.SDRPP = stats.SDRPP(res.PlaneOps)
 	res.GCCopyBacks, res.GCExternalMoves = ds.GCMoves()

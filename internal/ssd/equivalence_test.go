@@ -6,9 +6,11 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/bast"
 	"dloop/internal/ftl/dftl"
 	"dloop/internal/ftl/dloop"
 	"dloop/internal/ftl/fast"
+	"dloop/internal/ftl/pagemap"
 	"dloop/internal/sim"
 	"dloop/internal/trace"
 )
@@ -22,6 +24,10 @@ func lookupAny(t *testing.T, c *Controller, lpn ftl.LPN) flash.PPN {
 	case *dftl.DFTL:
 		return f.Lookup(lpn)
 	case *fast.FAST:
+		return f.Lookup(lpn)
+	case *bast.BAST:
+		return f.Lookup(lpn)
+	case *pagemap.PureMap:
 		return f.Lookup(lpn)
 	}
 	t.Fatal("unknown FTL type")
@@ -305,32 +311,72 @@ func TestForkWithBufferAndSeries(t *testing.T) {
 	}
 }
 
-// TestControllerRecovery crashes a controller mid-run and checks the
-// recovered one exposes identical mappings and keeps serving.
+// TestControllerRecovery crashes a controller mid-run — after enough traffic
+// that garbage collection is in flight (partially-filled blocks, open log
+// blocks, half-consumed pools) — and checks the recovered one exposes
+// identical mappings and keeps serving.
 func TestControllerRecovery(t *testing.T) {
-	for _, scheme := range []string{SchemeDLOOP, SchemeDFTL} {
-		c := buildTiny(t, scheme)
+	schemes := []string{SchemeDLOOP, SchemeDFTL, SchemeFAST, SchemeBAST, SchemePureMap, SchemePureMapStriped}
+	for _, scheme := range schemes {
+		t.Run(scheme, func(t *testing.T) {
+			c := buildTiny(t, scheme)
+			preconditionTiny(t, c)
+			res, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 2000, 5)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Erases == 0 {
+				t.Fatal("workload never triggered GC; the crash state is trivial")
+			}
+			r, err := c.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Exactly one valid copy of each written lpn exists on flash, so
+			// even the hybrids' reconstructed (not identical) block roles must
+			// resolve every lookup to the same physical page.
+			for lpn := ftl.LPN(0); lpn < c.FTL().Capacity(); lpn++ {
+				if got, want := lookupAny(t, r, lpn), lookupAny(t, c, lpn); got != want {
+					t.Fatalf("lpn %d recovered %d want %d", lpn, got, want)
+				}
+			}
+			if _, err := r.Run(trace.NewSliceReader(tinyWorkload(t, r, 1000, 6))); err != nil {
+				t.Fatalf("post-recovery: %v", err)
+			}
+			checkMappingConsistency(t, r)
+		})
+	}
+}
+
+// TestRecoveryKeepsGCPolicy checks that a non-default victim policy survives
+// the crash: the recovered controller rebuilds its GC engine with the same
+// policy the original was configured with.
+func TestRecoveryKeepsGCPolicy(t *testing.T) {
+	for _, scheme := range []string{SchemeDLOOP, SchemeFAST, SchemeBAST, SchemePureMap} {
+		cfg := tinyConfig(scheme)
+		cfg.GCPolicy = "costbenefit"
+		c, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		preconditionTiny(t, c)
-		if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 2000, 5))); err != nil {
+		if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 1500, 9))); err != nil {
 			t.Fatal(err)
 		}
 		r, err := c.Recover()
 		if err != nil {
 			t.Fatalf("%s: %v", scheme, err)
 		}
-		for lpn := ftl.LPN(0); lpn < c.FTL().Capacity(); lpn++ {
-			if got, want := lookupAny(t, r, lpn), lookupAny(t, c, lpn); got != want {
-				t.Fatalf("%s: lpn %d recovered %d want %d", scheme, lpn, got, want)
-			}
+		p, ok := r.FTL().(interface{ GCPolicyName() string })
+		if !ok {
+			t.Fatalf("%s: recovered FTL does not report its GC policy", scheme)
 		}
-		if _, err := r.Run(trace.NewSliceReader(tinyWorkload(t, r, 1000, 6))); err != nil {
+		if got := p.GCPolicyName(); got != "costbenefit" {
+			t.Errorf("%s: recovered policy %q, want costbenefit", scheme, got)
+		}
+		if _, err := r.Run(trace.NewSliceReader(tinyWorkload(t, r, 500, 10))); err != nil {
 			t.Fatalf("%s post-recovery: %v", scheme, err)
 		}
 		checkMappingConsistency(t, r)
-	}
-	// FAST declines gracefully.
-	c := buildTiny(t, SchemeFAST)
-	if _, err := c.Recover(); err == nil {
-		t.Fatal("FAST recovery should be unsupported")
 	}
 }

@@ -1,0 +1,128 @@
+package ssd
+
+import (
+	"reflect"
+	"testing"
+
+	"dloop/internal/trace"
+)
+
+// goldenGC pins the flash-traffic counters of one scheme on the tiny
+// deterministic workload (6000 requests, seed 7, 3/4-capacity precondition).
+type goldenGC struct {
+	policy      string
+	reads       int64
+	writes      int64
+	copyBacks   int64
+	erases      int64
+	extMoves    int64
+	wastedPages int64
+	gcRuns      int64
+	mergeCopies int64
+}
+
+// goldenDefaults are the counters every scheme produced before the GC
+// engine refactor; the unified engine under each scheme's default policy
+// must reproduce them exactly. A change here means the default GC behavior
+// is no longer bit-identical to the historical per-scheme collectors.
+var goldenDefaults = map[string]goldenGC{
+	SchemeDLOOP:          {policy: "greedy", reads: 7521, writes: 6785, copyBacks: 9138, erases: 2249, extMoves: 0, wastedPages: 2482, gcRuns: 2249},
+	SchemeDFTL:           {policy: "greedy", reads: 10646, writes: 9910, copyBacks: 0, erases: 1166, extMoves: 3176, wastedPages: 0, gcRuns: 1166},
+	SchemeFAST:           {policy: "fifo", reads: 17996, writes: 21529, copyBacks: 0, erases: 2678, extMoves: 15250, wastedPages: 0, mergeCopies: 15250},
+	SchemeBAST:           {policy: "fifo", reads: 22602, writes: 26135, copyBacks: 0, erases: 4964, extMoves: 19856, wastedPages: 0, mergeCopies: 19856},
+	SchemePureMap:        {policy: "greedy", reads: 5617, writes: 9150, copyBacks: 0, erases: 1069, extMoves: 2871, wastedPages: 0, gcRuns: 1069},
+	SchemePureMapStriped: {policy: "greedy", reads: 2746, writes: 6279, copyBacks: 8084, erases: 2030, extMoves: 0, wastedPages: 2306, gcRuns: 2030},
+}
+
+func runGoldenWorkload(t *testing.T, cfg Config) Result {
+	t.Helper()
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preconditionTiny(t, c)
+	res, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 6000, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGoldenDefaultPolicy locks the engine's default victim policies to the
+// seed behavior of all five FTL families.
+func TestGoldenDefaultPolicy(t *testing.T) {
+	for scheme, want := range goldenDefaults {
+		t.Run(scheme, func(t *testing.T) {
+			res := runGoldenWorkload(t, tinyConfig(scheme))
+			got := goldenGC{
+				policy:      res.GCPolicy,
+				reads:       res.Reads,
+				writes:      res.Writes,
+				copyBacks:   res.CopyBacks,
+				erases:      res.Erases,
+				extMoves:    res.GCExternalMoves,
+				wastedPages: res.WastedPages,
+				gcRuns:      res.GCRuns,
+				mergeCopies: res.MergeCopies,
+			}
+			if got != want {
+				t.Errorf("golden counters drifted:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestExplicitDefaultPolicyIdentical checks that naming the default policy
+// explicitly is the same simulation as leaving GCPolicy empty.
+func TestExplicitDefaultPolicyIdentical(t *testing.T) {
+	for scheme, want := range goldenDefaults {
+		base := runGoldenWorkload(t, tinyConfig(scheme))
+		cfg := tinyConfig(scheme)
+		cfg.GCPolicy = want.policy
+		named := runGoldenWorkload(t, cfg)
+		if !reflect.DeepEqual(base, named) {
+			t.Errorf("%s: GCPolicy=%q differs from default:\n%+v\n%+v", scheme, want.policy, base, named)
+		}
+	}
+}
+
+// TestAlternativePoliciesRun drives every scheme under the two alternative
+// victim policies: the runs must complete, report the policy, and remain
+// logically consistent (every written page readable at its mapped location).
+func TestAlternativePoliciesRun(t *testing.T) {
+	for scheme := range goldenDefaults {
+		for _, pol := range []string{"costbenefit", "windowed"} {
+			t.Run(scheme+"/"+pol, func(t *testing.T) {
+				cfg := tinyConfig(scheme)
+				cfg.GCPolicy = pol
+				c, err := Build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				preconditionTiny(t, c)
+				res, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 3000, 11)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.GCPolicy != pol {
+					t.Errorf("Result.GCPolicy = %q, want %q", res.GCPolicy, pol)
+				}
+				if res.Requests != 3000 {
+					t.Errorf("served %d requests", res.Requests)
+				}
+				checkMappingConsistency(t, c)
+			})
+		}
+	}
+}
+
+// TestBuildRejectsUnknownGCPolicy covers the config error path.
+func TestBuildRejectsUnknownGCPolicy(t *testing.T) {
+	for scheme := range goldenDefaults {
+		cfg := tinyConfig(scheme)
+		cfg.GCPolicy = "nope"
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("%s: unknown policy accepted", scheme)
+		}
+	}
+}

@@ -6,9 +6,11 @@ import (
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
+	"dloop/internal/ftl/bast"
 	"dloop/internal/ftl/dftl"
 	"dloop/internal/ftl/dloop"
 	"dloop/internal/ftl/fast"
+	"dloop/internal/ftl/pagemap"
 	"dloop/internal/sim"
 	"dloop/internal/trace"
 	"dloop/internal/workload"
@@ -159,6 +161,10 @@ func checkMappingConsistency(t *testing.T, c *Controller) {
 		case *dftl.DFTL:
 			return f.Lookup(lpn)
 		case *fast.FAST:
+			return f.Lookup(lpn)
+		case *bast.BAST:
+			return f.Lookup(lpn)
+		case *pagemap.PureMap:
 			return f.Lookup(lpn)
 		}
 		t.Fatal("unknown FTL type")

@@ -59,10 +59,10 @@ fi
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-# Root package: only the end-to-end throughput benchmarks (plain and with the
-# observability recorder attached), not the figure sweeps. Internal packages:
-# every benchmark they define.
-go test -run '^$' -bench '^BenchmarkSimulateThroughput(Observed)?$' -benchmem \
+# Root package: only the end-to-end hot-path benchmarks (throughput plain and
+# with the observability recorder attached, plus the sustained-GC regime), not
+# the figure sweeps. Internal packages: every benchmark they define.
+go test -run '^$' -bench '^(BenchmarkSimulateThroughput(Observed)?|BenchmarkGCHeavy)$' -benchmem \
     -benchtime "$benchtime" -count "$count" . | tee -a "$raw"
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
     ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/workload/ \
