@@ -224,6 +224,58 @@ func BenchmarkGCHeavy(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedThroughput compares the sequential timing engine against
+// the deterministic sharded one on the paper's 4-channel 8 GB shape (scaled),
+// driving the pipelined Enqueue path both engines share. The two
+// sub-benchmarks replay the same stream and produce bit-identical results
+// (TestShardedDifferential proves it); the ns/op ratio is the speedup the
+// shards buy. On a single-core machine the sharded engine degrades to a
+// modest scheduling overhead rather than a win — the gain needs one core per
+// channel. The sharded path must also preserve the disabled-observability
+// zero-allocation guarantee (asserted in TestShardedSteadyStateAllocFree).
+func BenchmarkShardedThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		shards int
+	}{
+		{"seq", 0},
+		{"sharded", dloop.AutoShards},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			geo, err := dloop.ScaledGeometryFor(8, 2, 0.03, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := dloop.Config{CapacityGB: 8, FTL: dloop.SchemeDLOOP, Geometry: &geo, Shards: mode.shards}
+			ssd, err := dloop.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ssd.Close()
+			if want := map[string]int{"seq": 1, "sharded": 4}[mode.name]; ssd.Shards() != want {
+				b.Fatalf("controller runs %d shards, want %d", ssd.Shards(), want)
+			}
+			p := dloop.Financial1()
+			p.FootprintBytes = int64(ssd.FTL().Capacity()) * int64(geo.PageSize) / 2
+			if err := ssd.PreconditionBytes(p.FootprintBytes); err != nil {
+				b.Fatal(err)
+			}
+			reqs, err := dloop.GenerateTrace(p, 42, 10_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ssd.Enqueue(reqs[i%len(reqs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ssd.Flush()
+		})
+	}
+}
+
 // BenchmarkSimulateThroughputObserved is BenchmarkSimulateThroughput with the
 // observability collector attached (metrics registry only, no trace sinks):
 // the difference between the two is the per-request cost of enabling

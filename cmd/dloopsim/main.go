@@ -40,6 +40,7 @@ func main() {
 		stripeBy  = flag.String("stripe-by", "", "DLOOP E8 ablation: plane|die|chip|channel")
 		gcPolicy  = flag.String("gc-policy", "", "GC victim policy: greedy|costbenefit|windowed|fifo (empty = scheme default)")
 		bufPages  = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
+		shards    = flag.String("shards", "1", "timing shards: N workers (1 = sequential), or 'auto' for one per channel; results are bit-identical either way")
 
 		metricsOut  = flag.String("metrics-out", "", "write the run's observability metrics.json to this file")
 		traceEvents = flag.String("trace-events", "", "write a Chrome trace-event/Perfetto timeline of every flash op to this file")
@@ -62,6 +63,12 @@ func main() {
 		}
 	}()
 
+	nShards, err := dloop.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dloopsim:", err)
+		os.Exit(1)
+	}
+
 	cfg := dloop.Config{
 		CapacityGB:      *capacity,
 		PageSizeKB:      *pageKB,
@@ -72,6 +79,7 @@ func main() {
 		StripeBy:        *stripeBy,
 		GCPolicy:        *gcPolicy,
 		BufferPages:     *bufPages,
+		Shards:          nShards,
 	}
 
 	ob, err := newObserver(*metricsOut, *traceEvents, *snapshotMs)
@@ -191,6 +199,7 @@ func replayFile(cfg dloop.Config, path, format string, footprintMiB int64, ob *o
 	if err != nil {
 		return dloop.Result{}, err
 	}
+	defer c.Close()
 	footprint := st.MaxEnd * trace.SectorSize
 	if footprintMiB > 0 {
 		footprint = footprintMiB << 20

@@ -31,7 +31,9 @@ func main() {
 		requests = flag.Int("requests", 400_000, "requests per run")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		scale    = flag.Float64("scale", 1.0, "shrink device+footprint for quick runs (0,1]")
-		workers  = flag.Int("workers", 0, "concurrent runs (0 = NumCPU)")
+		workers  = flag.Int("workers", 0, "concurrent runs (0 = NumCPU divided by -shards)")
+		cells    = flag.Int("parallel-cells", 0, "explicit worker-pool size; overrides -workers (0 = derive)")
+		shards   = flag.String("shards", "1", "timing shards per cell: N workers (1 = sequential), or 'auto' for one per channel; results stay bit-identical")
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 		noFork   = flag.Bool("no-fork", false, "disable warm-up checkpoint sharing; every cell builds and preconditions its own simulator")
@@ -46,9 +48,9 @@ func main() {
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(prof.Config{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *traceOut})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	stopProf, perr := prof.Start(prof.Config{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *traceOut})
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", perr)
 		os.Exit(1)
 	}
 	defer func() {
@@ -57,8 +59,15 @@ func main() {
 		}
 	}()
 
+	nShards, err := dloop.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
 	opt := dloop.Options{
 		Requests: *requests, Seed: *seed, Scale: *scale, Workers: *workers,
+		ParallelCells: *cells, Shards: nShards,
 		MetricsDir: *metricsOut, TraceDir: *traceEvents, SnapshotIntervalMs: *snapshotMs,
 		NoFork: *noFork,
 	}

@@ -29,8 +29,24 @@ type Options struct {
 	// Seed for the workload generators (default 42). Every run of an
 	// experiment uses the same seed so FTLs see identical request streams.
 	Seed int64
-	// Workers bounds concurrent runs (default: NumCPU, min 1).
+	// Workers bounds concurrent runs. Zero derives a default from the
+	// machine: NumCPU divided by the timing shards each cell occupies (see
+	// Shards), min 1 — so sharded cells and the worker pool share the CPUs
+	// instead of oversubscribing them. ParallelCells, when set, wins.
 	Workers int
+	// ParallelCells is the explicit worker-pool size (same meaning as
+	// Workers, but set deliberately from the -parallel-cells flag rather
+	// than defaulted from GOMAXPROCS). Non-zero overrides Workers.
+	ParallelCells int
+	// Shards is the per-cell timing shard count, copied into every job's
+	// ssd.Config that does not set its own: 0/1 = sequential engine,
+	// ssd.AutoShards = one shard per channel. Each sweep cell stays
+	// bit-identical to a sequential run; sharding only moves the
+	// resource-timeline math onto worker goroutines. Trading shards-per-cell
+	// against cells-in-flight is the point: on a machine with C cores,
+	// Shards*Workers ≈ C keeps every core busy whether the sweep is wide
+	// (many cells, sequential each) or narrow (few cells, sharded each).
+	Shards int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
 	// Scale shrinks workload footprints and request counts together for
@@ -68,8 +84,11 @@ func (o *Options) setDefaults() {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
+	if o.ParallelCells > 0 {
+		o.Workers = o.ParallelCells
+	}
 	if o.Workers == 0 {
-		o.Workers = runtime.NumCPU()
+		o.Workers = runtime.NumCPU() / o.shardsPerCell()
 	}
 	if o.Workers < 1 {
 		o.Workers = 1
@@ -77,6 +96,20 @@ func (o *Options) setDefaults() {
 	if o.Scale == 0 {
 		o.Scale = 1.0
 	}
+}
+
+// shardsPerCell estimates how many goroutines one cell's timing work
+// occupies, for the default worker-pool derivation. AutoShards resolves per
+// cell geometry at build time; the paper geometries have four channels, so
+// that is the estimate used here.
+func (o Options) shardsPerCell() int {
+	switch {
+	case o.Shards == ssd.AutoShards:
+		return 4
+	case o.Shards > 1:
+		return o.Shards
+	}
+	return 1
 }
 
 func (o Options) progress(format string, args ...any) {
@@ -101,6 +134,7 @@ func RunObserved(cfg ssd.Config, profile workload.Profile, requests int, seed in
 	if err != nil {
 		return ssd.Result{}, err
 	}
+	defer c.Close()
 	return resumeObserved(c, cfg, profile, requests, seed, attach)
 }
 
@@ -141,7 +175,10 @@ func resumeObserved(c *ssd.Controller, cfg ssd.Config, profile workload.Profile,
 		if err != nil {
 			return ssd.Result{}, err
 		}
-		if _, err := c.Serve(req); err != nil {
+		// Enqueue pipelines the timing work onto shard workers when the
+		// controller is sharded (epoch barriers happen inside the
+		// controller); on a sequential controller it is Serve.
+		if err := c.Enqueue(req); err != nil {
 			return ssd.Result{}, fmt.Errorf("expt: %s/%s request %d: %w", cfg.FTL, profile.Name, i, err)
 		}
 	}
@@ -261,6 +298,17 @@ func runCell(j job, opt Options, warmed *ssd.Controller) (ssd.Result, error) {
 // without running.
 func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 	opt.setDefaults()
+	// Per-cell timing shards: jobs that don't pin their own shard count
+	// inherit the sweep-wide option. Shards are part of the config, so the
+	// warm-up grouping below naturally keeps sharded and sequential cells
+	// in separate groups.
+	if opt.Shards != 0 {
+		for i := range jobs {
+			if jobs[i].cfg.Shards == 0 {
+				jobs[i].cfg.Shards = opt.Shards
+			}
+		}
+	}
 	groups := groupJobs(jobs, opt)
 
 	// Streaming aggregation: cells publish results as they finish.

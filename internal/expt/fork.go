@@ -80,6 +80,7 @@ func runGroup(g []job, opt Options, emit func(job, ssd.Result), fail func(error)
 		fail(err)
 		return
 	}
+	defer c.Close()
 	cp, err := c.Snapshot()
 	if err != nil {
 		runFresh(g) // FTL without checkpoint support

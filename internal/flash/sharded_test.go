@@ -1,0 +1,146 @@
+package flash
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dloop/internal/sim"
+)
+
+func shardTestGeometry() Geometry {
+	return Geometry{
+		Channels:           4,
+		PackagesPerChannel: 1,
+		ChipsPerPackage:    2,
+		DiesPerChip:        1,
+		PlanesPerDie:       2,
+		BlocksPerPlane:     8,
+		PagesPerBlock:      8,
+		PageSize:           2048,
+	}
+}
+
+// TestShardedDeviceMatchesSequential drives two identical devices — one
+// sequential, one sharded — through the same randomized operation sequence,
+// chaining completion times across operations (and therefore across shards)
+// the way the FTLs do, and asserts every resolved end time, the statistics,
+// and the full resource-timeline snapshots agree exactly.
+func TestShardedDeviceMatchesSequential(t *testing.T) {
+	geo := shardTestGeometry()
+	seq, err := NewDevice(geo, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewDevice(geo, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := par.EnableSharding(geo.Channels); got != geo.Channels {
+		t.Fatalf("EnableSharding gave %d shards, want %d", got, geo.Channels)
+	}
+	defer par.DisableSharding()
+
+	rng := rand.New(rand.NewSource(99))
+	run := func(d *Device) []sim.Time {
+		r := rand.New(rand.NewSource(7)) // same op sequence for both devices
+		var ends []sim.Time
+		var chain sim.Time // previous op's completion, sometimes chained
+		written := make([]PPN, 0, 512)
+		nextFree := make([]int, geo.Planes()) // next free page slot per plane (block 0..)
+		for i := 0; i < 4000; i++ {
+			ready := sim.Time(i) * sim.Time(sim.Microsecond)
+			if r.Intn(3) == 0 {
+				ready = chain // dependency edge, possibly cross-shard
+			}
+			var end sim.Time
+			var err error
+			switch {
+			case len(written) > 8 && r.Intn(2) == 0:
+				src := written[r.Intn(len(written))]
+				end, err = d.ReadPage(src, ready, CauseHost)
+			default:
+				plane := r.Intn(geo.Planes())
+				slot := nextFree[plane]
+				if slot >= geo.BlocksPerPlane*geo.PagesPerBlock {
+					continue // plane full; rng streams stay aligned either way
+				}
+				nextFree[plane] = slot + 1
+				ppn := geo.FirstPPN(PlaneBlock{Plane: plane, Block: slot / geo.PagesPerBlock}) + PPN(slot%geo.PagesPerBlock)
+				end, err = d.WritePage(ppn, int64(i), ready, Cause(r.Intn(3)))
+				written = append(written, ppn)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain = end
+			ends = append(ends, end)
+		}
+		d.SyncTiming()
+		for i, e := range ends {
+			ends[i] = d.ResolveTime(e)
+		}
+		d.ResetTimingEpoch()
+		return ends
+	}
+	_ = rng
+
+	seqEnds := run(seq)
+	parEnds := run(par)
+	if !reflect.DeepEqual(seqEnds, parEnds) {
+		for i := range seqEnds {
+			if seqEnds[i] != parEnds[i] {
+				t.Fatalf("op %d: sequential end %v, sharded end %v", i, seqEnds[i], parEnds[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(seq.Stats(), par.Stats()) {
+		t.Fatalf("stats diverged:\nseq %+v\npar %+v", seq.Stats(), par.Stats())
+	}
+	// The strongest check: the complete timelines (occupied intervals, busy
+	// totals, op counts of every plane/chip-bus/channel resource) match.
+	if !reflect.DeepEqual(seq.Snapshot(), par.Snapshot()) {
+		t.Fatal("resource timeline snapshots diverged")
+	}
+}
+
+// TestShardingClampAndToggle covers shard-count clamping and that disabling
+// returns the device to the sequential engine with all statistics folded.
+func TestShardingClampAndToggle(t *testing.T) {
+	geo := shardTestGeometry()
+	d, err := NewDevice(geo, DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.EnableSharding(64); got != geo.Channels {
+		t.Fatalf("EnableSharding(64) = %d, want clamp to %d channels", got, geo.Channels)
+	}
+	if !d.Sharded() || d.ShardCount() != geo.Channels {
+		t.Fatal("device not sharded after EnableSharding")
+	}
+	end, err := d.WritePage(0, 1, 0, CauseHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.IsFutureTime(end) {
+		t.Fatalf("sharded write returned concrete time %v", end)
+	}
+	if got := d.ResolveTime(end); got != sim.Time(DefaultTiming().ExternalWrite(geo.PageSize)) {
+		t.Fatalf("resolved end %v, want %v", got, DefaultTiming().ExternalWrite(geo.PageSize))
+	}
+	d.DisableSharding()
+	if d.Sharded() {
+		t.Fatal("still sharded after DisableSharding")
+	}
+	if got := d.Stats().Writes(); got != 1 {
+		t.Fatalf("worker stats not folded: %d writes", got)
+	}
+	// Sequential again: concrete times.
+	end, err = d.WritePage(1, 2, 0, CauseHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.IsFutureTime(end) {
+		t.Fatal("sequential write returned a future")
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Future-time handles.
+//
+// The sharded engine keeps every FTL decision on one control goroutine and
+// moves only the resource-timeline arithmetic onto per-channel workers. The
+// control plane must therefore hand the FTL a completion time *before* the
+// worker has computed it. A future handle is that promise: a Time whose bit
+// pattern encodes a slot in a FutureSlab instead of a point in simulated
+// time. Legitimate times are non-negative (nanoseconds since simulation
+// start), so the negative half of the Time domain is free to carry handles:
+// slot s is encoded as ^s, which is always negative.
+//
+// Handles flow through the existing FTL/device signatures unchanged — every
+// in-tree consumer either chains a returned time into the next operation's
+// ready argument (where the worker resolves it) or hands it back to the
+// controller (which resolves it at an epoch barrier). Nothing in the decision
+// plane does arithmetic or comparisons on device-returned times; that
+// property is what makes the encoding safe, and the differential tests in
+// internal/ssd enforce it.
+
+// MakeFutureTime encodes a FutureSlab slot as a Time handle.
+func MakeFutureTime(slot int) Time { return Time(^int64(slot)) }
+
+// IsFutureTime reports whether t is a future handle rather than a concrete
+// point in simulated time.
+func IsFutureTime(t Time) bool { return t < 0 }
+
+// FutureSlot decodes the slab slot behind a future handle.
+func FutureSlot(t Time) int { return int(^int64(t)) }
+
+const (
+	slabChunkBits = 14
+	slabChunkSize = 1 << slabChunkBits // slots per chunk
+	slabChunkMask = slabChunkSize - 1
+	slabMaxChunks = 1 << 12 // 2^26 slots; epochs hold at most ~2^18
+)
+
+// futureUnresolved marks a slot whose worker has not published an end time
+// yet. Concrete times are non-negative, so any negative sentinel works.
+const futureUnresolved = int64(-1)
+
+type slabChunk [slabChunkSize]atomic.Int64
+
+// FutureSlab is the single-producer store behind future-time handles. The
+// control goroutine allocates slots and (after a barrier) reads them; exactly
+// one worker publishes each slot's value. Slots are recycled wholesale by
+// Reset at epoch boundaries, when the controller has proven no live handle
+// survives — individual slots are never freed.
+//
+// Storage is a table of atomically published fixed-size chunks so that a
+// growing slab never moves a slot a worker might be writing.
+type FutureSlab struct {
+	chunks [slabMaxChunks]atomic.Pointer[slabChunk]
+	next   int // control-plane only
+}
+
+// NewSlot allocates the next slot, marks it unresolved, and returns its index
+// and handle. Control-plane only.
+func (s *FutureSlab) NewSlot() (int, Time) {
+	idx := s.next
+	ci := idx >> slabChunkBits
+	if ci >= slabMaxChunks {
+		panic(fmt.Sprintf("sim: future slab overflow (%d live slots); missing epoch flush", idx))
+	}
+	ch := s.chunks[ci].Load()
+	if ch == nil {
+		ch = new(slabChunk)
+		s.chunks[ci].Store(ch)
+	}
+	ch[idx&slabChunkMask].Store(futureUnresolved)
+	s.next++
+	return idx, MakeFutureTime(idx)
+}
+
+// Resolve publishes the end time for a slot. Called by the one worker that
+// executed the slot's operation.
+func (s *FutureSlab) Resolve(slot int, end Time) {
+	s.chunks[slot>>slabChunkBits].Load()[slot&slabChunkMask].Store(int64(end))
+}
+
+// Wait blocks until a slot resolves and returns its value. Safe from both
+// the control goroutine (resolving a dependency mid-epoch) and workers
+// (resolving a cross-shard ready time). Waits are short — the op being
+// waited on was issued earlier, so it is at or near the head of its shard's
+// queue — and on a loaded machine yielding beats spinning.
+func (s *FutureSlab) Wait(slot int) Time {
+	slotp := &s.chunks[slot>>slabChunkBits].Load()[slot&slabChunkMask]
+	for i := 0; ; i++ {
+		if v := slotp.Load(); v != futureUnresolved {
+			return Time(v)
+		}
+		if i > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// InUse returns the number of slots allocated since the last Reset.
+func (s *FutureSlab) InUse() int { return s.next }
+
+// Reset recycles every slot. The caller must have synchronized with all
+// workers and dropped every outstanding handle first.
+func (s *FutureSlab) Reset() { s.next = 0 }

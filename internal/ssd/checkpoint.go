@@ -38,6 +38,7 @@ func (c *Controller) Snapshot() (*Checkpoint, error) {
 	if !ok {
 		return nil, fmt.Errorf("ssd: FTL %s does not support checkpointing", c.f.Name())
 	}
+	c.Flush() // fold deferred completions so the accumulators are current
 	cp := &Checkpoint{
 		dev:       c.dev.Snapshot(),
 		ftlState:  snapper.Snapshot(),
@@ -65,6 +66,7 @@ func (c *Controller) Restore(cp *Checkpoint) error {
 	if !ok {
 		return fmt.Errorf("ssd: FTL %s does not support checkpointing", c.f.Name())
 	}
+	c.discardPending() // in-flight timing belongs to the run being abandoned
 	if err := snapper.Restore(cp.ftlState); err != nil {
 		return err
 	}

@@ -32,6 +32,9 @@ const (
 // Schemes lists the three FTLs in the order the paper's figures plot them.
 func Schemes() []string { return []string{SchemeDLOOP, SchemeDFTL, SchemeFAST} }
 
+// AutoShards, as Config.Shards, selects one timing shard per channel.
+const AutoShards = -1
+
 // Config describes one simulated SSD, in the units Table I uses.
 type Config struct {
 	// CapacityGB is the exported (data) capacity. Table I varies
@@ -70,6 +73,14 @@ type Config struct {
 	// dirty logical pages are absorbed at DRAM speed and flushed to the FTL
 	// lazily. 0 (the default, used by all experiments) disables it.
 	BufferPages int
+	// Shards selects the sharded timing engine: resource-timeline math runs
+	// on this many per-channel worker goroutines while FTL decisions stay on
+	// the caller's goroutine, bit-identical to the sequential engine (see
+	// DESIGN.md, "Sharded simulation"). 0 or 1 keeps today's sequential
+	// engine; AutoShards uses one shard per channel; larger values are
+	// clamped to the channel count. Attaching an observability recorder
+	// forces the sequential engine for as long as it stays attached.
+	Shards int
 
 	// Geometry, when non-nil, overrides the capacity-derived geometry
 	// entirely (tests use miniature devices).
@@ -244,7 +255,9 @@ func Build(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newController(dev, f, cfg), nil
+	c := newController(dev, f, cfg)
+	c.applySharding()
+	return c, nil
 }
 
 // ScaledGeometryFor shrinks GeometryFor's result by scale for quick runs:
@@ -358,6 +371,7 @@ func (c *Controller) Recover() (*Controller, error) {
 		return nil, err
 	}
 	nc := newController(c.dev, f, cfg)
+	nc.applySharding()
 	nc.ResetMeasurement()
 	return nc, nil
 }

@@ -42,6 +42,20 @@ type Controller struct {
 	pagesWrit int64
 
 	rec obs.Recorder // nil when observability is disabled
+
+	// Sharded-engine state (see sharded.go). par mirrors dev.Sharded() so
+	// the hot path branches on one bool; pend/pendEnds park per-request
+	// completion records between epoch barriers; lastRT is the response time
+	// most recently folded by Flush, which Serve returns in sharded mode.
+	par      bool
+	pend     []pendingDone
+	pendEnds []sim.Time
+	lastRT   sim.Duration
+
+	// latHook, when set, receives every request's response time in arrival
+	// order on both engines; the differential tests use it to compare the
+	// sequential and sharded latency streams element-for-element.
+	latHook func(sim.Duration)
 }
 
 func newController(dev *flash.Device, f ftl.FTL, cfg Config) *Controller {
@@ -106,6 +120,16 @@ func (c *Controller) ObsOptions() obs.Options {
 // busy-time utilization at Close. Attach after preconditioning so the stream
 // covers exactly the measured window.
 func (c *Controller) SetRecorder(r obs.Recorder) {
+	if r != nil && c.par {
+		// Per-op trace events are inherently ordered, so observability runs
+		// use the sequential engine; sharding resumes when detached.
+		c.Flush()
+		c.dev.DisableSharding()
+		if c.buffer != nil {
+			c.buffer.resolve = nil
+		}
+		c.par = false
+	}
 	c.rec = r
 	c.dev.SetRecorder(r)
 	if o, ok := c.f.(ftl.Observable); ok {
@@ -113,6 +137,9 @@ func (c *Controller) SetRecorder(r obs.Recorder) {
 	}
 	if col, ok := r.(*obs.Collector); ok && col != nil {
 		col.SetUtilizationSource(c.dev.BusyTimes)
+	}
+	if r == nil {
+		c.applySharding()
 	}
 }
 
@@ -142,6 +169,13 @@ func (c *Controller) Precondition(pages ftl.LPN) error {
 			return fmt.Errorf("ssd: precondition lpn %d: %w", lpn, err)
 		}
 		t = end
+		if c.par && lpn&(preconditionEpoch-1) == preconditionEpoch-1 {
+			// Bound the future slab: materialize the chain's tail, then
+			// recycle every handle behind it.
+			t = c.dev.ResolveTime(t)
+			c.dev.SyncTiming()
+			c.dev.ResetTimingEpoch()
+		}
 	}
 	c.ResetMeasurement()
 	return nil
@@ -156,7 +190,9 @@ func (c *Controller) PreconditionBytes(bytes int64) error {
 // ResetMeasurement zeroes every statistic and resource timeline while
 // keeping device and FTL state, so measurement starts from now.
 func (c *Controller) ResetMeasurement() {
+	c.discardPending()
 	c.dev.ResetStats()
+	c.lastRT = 0
 	c.resp = stats.Welford{}
 	c.readResp = stats.Welford{}
 	c.writeResp = stats.Welford{}
@@ -171,8 +207,18 @@ func (c *Controller) ResetMeasurement() {
 	c.pagesWrit = 0
 }
 
-// Serve executes one host request, returning its response time.
+// Serve executes one host request, returning its response time. On a
+// sharded controller it issues the work and immediately barriers; callers
+// replaying whole traces should prefer Run (or Enqueue+Flush), which
+// pipelines many requests per barrier.
 func (c *Controller) Serve(r trace.Request) (sim.Duration, error) {
+	if c.par {
+		if err := c.serveDeferred(r); err != nil {
+			return 0, err
+		}
+		c.Flush()
+		return c.lastRT, nil
+	}
 	if err := r.Validate(); err != nil {
 		return 0, err
 	}
@@ -224,16 +270,33 @@ func (c *Controller) Serve(r trace.Request) (sim.Duration, error) {
 	if c.rec != nil {
 		c.rec.RecordRequest(r.Op == trace.OpRead, r.Arrival, done)
 	}
+	if c.latHook != nil {
+		c.latHook(rt)
+	}
 	return rt, nil
 }
+
+// SetLatencyHook registers fn to receive every served request's response
+// time in arrival order (nil detaches). Both engines call it — the
+// sequential one per Serve, the sharded one as each epoch's completions are
+// folded — so equivalence tests can compare the exact latency streams.
+func (c *Controller) SetLatencyHook(fn func(sim.Duration)) { c.latHook = fn }
 
 // Drain flushes every dirty buffered page through the FTL (a clean
 // shutdown). No-op without a buffer.
 func (c *Controller) Drain(at sim.Time) (sim.Time, error) {
+	if c.par {
+		c.Flush()
+	}
 	if c.buffer == nil {
 		return at, nil
 	}
-	return c.buffer.flushAll(c.f, at)
+	end, err := c.buffer.flushAll(c.f, at)
+	if c.par {
+		c.dev.SyncTiming()
+		c.dev.ResetTimingEpoch()
+	}
+	return end, err
 }
 
 // BufferStats reports the DRAM buffer's dirty page count, write hits, read
@@ -245,7 +308,9 @@ func (c *Controller) BufferStats() (dirty int, hitsW, hitsR, flushes int64) {
 	return c.buffer.Len(), c.buffer.hitsW, c.buffer.hitsR, c.buffer.flushes
 }
 
-// Run replays every request from the reader and returns the results.
+// Run replays every request from the reader and returns the results. On a
+// sharded controller it pipelines flushEvery requests per epoch barrier, so
+// the timing workers overlap the FTL's decision-making.
 func (c *Controller) Run(r trace.Reader) (Result, error) {
 	for {
 		req, err := r.Next()
@@ -255,7 +320,7 @@ func (c *Controller) Run(r trace.Reader) (Result, error) {
 			}
 			return Result{}, err
 		}
-		if _, err := c.Serve(req); err != nil {
+		if err := c.Enqueue(req); err != nil {
 			return Result{}, err
 		}
 	}
@@ -304,6 +369,7 @@ type Result struct {
 
 // Result snapshots the current measurement window.
 func (c *Controller) Result() Result {
+	c.Flush()
 	ds := c.dev.Stats()
 	res := Result{
 		FTL:         c.f.Name(),

@@ -1,0 +1,202 @@
+package ssd
+
+import (
+	"fmt"
+
+	"dloop/internal/ftl"
+	"dloop/internal/sim"
+	"dloop/internal/trace"
+)
+
+// Sharded serving: with Config.Shards > 1 the device defers all resource-
+// timeline math to per-channel workers (see flash/sharded.go) and returns
+// future handles instead of completion times. The controller threads those
+// handles through the exact page loop Serve runs, parks one completion
+// record per request, and resolves them — in arrival order, against the
+// same Welford/histogram accumulators — at epoch barriers (Flush). The FTL,
+// GC engine, and mapper never look inside the times they chain, so every
+// decision they make is byte-identical to the sequential engine's; the only
+// thing that moves off this goroutine is arithmetic whose results are folded
+// back deterministically.
+
+// flushEvery bounds how many requests Run pipelines between epoch barriers.
+// Larger epochs amortize the barrier; the slab and pending slices grow with
+// the epoch, so keep it modest.
+const flushEvery = 1024
+
+// preconditionEpoch bounds the future slab during the (millions-of-writes)
+// preconditioning chain.
+const preconditionEpoch = 1 << 16
+
+// pendingDone is one request whose response time is deferred: its page
+// completion times live in pendEnds[off:off+n].
+type pendingDone struct {
+	arrival sim.Time
+	off     int32
+	n       int32
+	read    bool
+}
+
+// resolveShards maps a Config.Shards value to an effective shard count.
+func resolveShards(v, channels int) int {
+	if v == AutoShards {
+		return channels
+	}
+	if v <= 1 {
+		return 1
+	}
+	if v > channels {
+		return channels
+	}
+	return v
+}
+
+// applySharding enables the configured shard count on the device. Recorders
+// require the sequential engine, so attachment wins over configuration.
+func (c *Controller) applySharding() {
+	n := resolveShards(c.cfg.Shards, c.dev.Geometry().Channels)
+	if n > 1 && c.rec == nil {
+		c.dev.EnableSharding(n)
+		if c.buffer != nil {
+			c.buffer.resolve = c.dev.ResolveTime
+		}
+	}
+	c.par = c.dev.ShardCount() > 1
+}
+
+// Shards returns the number of timing shards in effect (1 = sequential).
+func (c *Controller) Shards() int { return c.dev.ShardCount() }
+
+// Close stops the sharded engine's worker goroutines after a final barrier.
+// Harmless on a sequential controller; the controller remains usable (it
+// falls back to the sequential engine).
+func (c *Controller) Close() {
+	if c.par {
+		c.Flush()
+	}
+	c.dev.DisableSharding()
+	if c.buffer != nil {
+		c.buffer.resolve = nil
+	}
+	c.par = false
+}
+
+// Enqueue serves one request on the pipelined path: FTL decisions happen
+// now, timing resolves at the next Flush. Epoch barriers are automatic —
+// every flushEvery pipelined requests, and implicitly in every statistics
+// reader — so callers may Enqueue indefinitely. On a sequential controller
+// it is Serve with the response time discarded.
+func (c *Controller) Enqueue(r trace.Request) error {
+	if !c.par {
+		_, err := c.Serve(r)
+		return err
+	}
+	if err := c.serveDeferred(r); err != nil {
+		return err
+	}
+	if len(c.pend) >= flushEvery {
+		c.Flush()
+	}
+	return nil
+}
+
+// serveDeferred is Serve's page loop with completion times parked for the
+// next Flush instead of resolved inline. Every FTL call, counter increment,
+// and branch matches Serve exactly.
+func (c *Controller) serveDeferred(r trace.Request) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	first, last := c.pageSpan(r)
+	if err := ftl.CheckLPN(last, c.f.Capacity()); err != nil {
+		return fmt.Errorf("ssd: request [%d,%d) exceeds device: %w", r.LBN, r.End(), err)
+	}
+	off := len(c.pendEnds)
+	for lpn := first; lpn <= last; lpn++ {
+		var end sim.Time
+		var err error
+		switch {
+		case r.Op == trace.OpRead && c.buffer != nil && c.buffer.readHit(lpn):
+			end = r.Arrival.Add(c.buffer.dramLat)
+			c.pagesRead++
+		case r.Op == trace.OpRead:
+			end, err = c.f.ReadPage(lpn, r.Arrival)
+			c.pagesRead++
+		case c.buffer != nil:
+			end, err = c.buffer.put(c.f, lpn, r.Arrival)
+			c.pagesWrit++
+		default:
+			end, err = c.f.WritePage(lpn, r.Arrival)
+			c.pagesWrit++
+		}
+		if err != nil {
+			c.pendEnds = c.pendEnds[:off]
+			return err
+		}
+		c.pendEnds = append(c.pendEnds, end)
+	}
+	c.pend = append(c.pend, pendingDone{
+		arrival: r.Arrival,
+		off:     int32(off),
+		n:       int32(len(c.pendEnds) - off),
+		read:    r.Op == trace.OpRead,
+	})
+	return nil
+}
+
+// Flush is the epoch barrier: wait for every shard to finish the timing work
+// issued so far, then fold each pending request into the response-time
+// accumulators in arrival order — the same order, and therefore the same
+// floating-point sequence, as the sequential engine. Afterwards the future
+// slab is recycled. No-op on a sequential controller.
+func (c *Controller) Flush() {
+	if !c.par {
+		return
+	}
+	c.dev.SyncTiming()
+	for _, p := range c.pend {
+		done := p.arrival
+		for _, t := range c.pendEnds[p.off : p.off+p.n] {
+			v := c.dev.ResolveTime(t)
+			if v > done {
+				done = v
+			}
+		}
+		rt := done.Sub(p.arrival)
+		ms := rt.Milliseconds()
+		c.resp.Add(ms)
+		if p.read {
+			c.readResp.Add(ms)
+		} else {
+			c.writeResp.Add(ms)
+		}
+		c.hist.Add(rt)
+		if c.series != nil {
+			c.series.Add(p.arrival, ms)
+		}
+		if done > c.lastDone {
+			c.lastDone = done
+		}
+		c.served++
+		c.lastRT = rt
+		if c.latHook != nil {
+			c.latHook(rt)
+		}
+	}
+	c.pend = c.pend[:0]
+	c.pendEnds = c.pendEnds[:0]
+	c.dev.ResetTimingEpoch()
+}
+
+// discardPending drops deferred completions without folding them (used when
+// the accumulators are about to be reset or overwritten anyway) and recycles
+// the slab.
+func (c *Controller) discardPending() {
+	if !c.par {
+		return
+	}
+	c.dev.SyncTiming()
+	c.pend = c.pend[:0]
+	c.pendEnds = c.pendEnds[:0]
+	c.dev.ResetTimingEpoch()
+}

@@ -1,0 +1,240 @@
+package ssd
+
+import (
+	"reflect"
+	"testing"
+
+	"dloop/internal/ftl"
+	"dloop/internal/obs"
+	"dloop/internal/sim"
+	"dloop/internal/trace"
+)
+
+var allSchemes = []string{SchemeDLOOP, SchemeDFTL, SchemeFAST, SchemeBAST,
+	SchemePureMap, SchemePureMapStriped}
+
+// shardModes enumerates the engines the cross-cutting suites run under:
+// the sequential engine and the sharded one (one worker per channel).
+var shardModes = []struct {
+	name   string
+	shards int
+}{
+	{"seq", 0},
+	{"sharded", AutoShards},
+}
+
+// buildTinyShards is buildTiny with an explicit shard mode; the worker
+// goroutines are stopped when the test finishes.
+func buildTinyShards(t *testing.T, scheme string, shards int) *Controller {
+	t.Helper()
+	cfg := tinyConfig(scheme)
+	cfg.Shards = shards
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestShardedDifferential is the randomized differential test of the sharded
+// engine: for every scheme and several workload seeds, a sequential and a
+// sharded controller replay the same trace; the per-request latency streams
+// must match element-for-element, the Results bit-for-bit, the mapping
+// tables entry-for-entry, and the device timelines interval-for-interval.
+func TestShardedDifferential(t *testing.T) {
+	for _, scheme := range allSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			for _, seed := range []int64{1, 37, 101} {
+				seq := buildTinyShards(t, scheme, 0)
+				par := buildTinyShards(t, scheme, AutoShards)
+				if par.Shards() != 2 {
+					t.Fatalf("auto shards = %d on the 2-channel tiny device", par.Shards())
+				}
+				var seqLat, parLat []sim.Duration
+				seq.SetLatencyHook(func(d sim.Duration) { seqLat = append(seqLat, d) })
+				par.SetLatencyHook(func(d sim.Duration) { parLat = append(parLat, d) })
+
+				preconditionTiny(t, seq)
+				preconditionTiny(t, par)
+				w := tinyWorkload(t, seq, 2500, seed)
+
+				want, err := seq.Run(trace.NewSliceReader(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := par.Run(trace.NewSliceReader(w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: Results differ\nseq: %+v\npar: %+v", seed, want, got)
+				}
+				if len(seqLat) != len(parLat) {
+					t.Fatalf("seed %d: %d vs %d latency samples", seed, len(seqLat), len(parLat))
+				}
+				for i := range seqLat {
+					if seqLat[i] != parLat[i] {
+						t.Fatalf("seed %d request %d: latency %v (seq) vs %v (sharded)",
+							seed, i, seqLat[i], parLat[i])
+					}
+				}
+				for lpn := ftl.LPN(0); lpn < seq.FTL().Capacity(); lpn++ {
+					if a, b := lookupAny(t, seq, lpn), lookupAny(t, par, lpn); a != b {
+						t.Fatalf("seed %d: lpn %d maps to %d (seq) vs %d (sharded)", seed, lpn, a, b)
+					}
+				}
+				if !reflect.DeepEqual(seq.Device().Snapshot(), par.Device().Snapshot()) {
+					t.Fatalf("seed %d: device state (timelines/stats) diverged", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedServePath covers the synchronous Serve API on a sharded
+// controller: every call barriers, so the returned response times must match
+// the sequential engine's call for call.
+func TestShardedServePath(t *testing.T) {
+	seq := buildTinyShards(t, SchemeDLOOP, 0)
+	par := buildTinyShards(t, SchemeDLOOP, AutoShards)
+	preconditionTiny(t, seq)
+	preconditionTiny(t, par)
+	for i, r := range tinyWorkload(t, seq, 800, 5) {
+		a, err := seq.Serve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Serve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("request %d: rt %v (seq) vs %v (sharded)", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(seq.Result(), par.Result()) {
+		t.Fatal("results diverged on the Serve path")
+	}
+}
+
+// TestShardedWithBufferAndDrain runs the DRAM write buffer on both engines:
+// buffered writes chain evict flushes into future handles, and Drain's final
+// flush resolves them, so both the response times and the drained end time
+// must agree.
+func TestShardedWithBufferAndDrain(t *testing.T) {
+	build := func(shards int) *Controller {
+		cfg := tinyConfig(SchemeDLOOP)
+		cfg.BufferPages = 16
+		cfg.Shards = shards
+		c, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		preconditionTiny(t, c)
+		return c
+	}
+	seq := build(0)
+	par := build(AutoShards)
+	w := tinyWorkload(t, seq, 2000, 17)
+	want, err := seq.Run(trace.NewSliceReader(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Run(trace.NewSliceReader(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("buffered results differ\nseq: %+v\npar: %+v", want, got)
+	}
+	a, err := seq.Drain(seq.lastDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Drain(par.lastDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("drain end %v (seq) vs %v (sharded)", a, b)
+	}
+}
+
+// TestShardedRecorderForcesSequential checks the observability contract:
+// attaching a recorder drops a sharded controller back to the ordered
+// sequential engine, and detaching it restores the configured sharding.
+func TestShardedRecorderForcesSequential(t *testing.T) {
+	c := buildTinyShards(t, SchemeDLOOP, AutoShards)
+	preconditionTiny(t, c)
+	if c.Shards() != 2 {
+		t.Fatalf("shards = %d before recorder", c.Shards())
+	}
+	c.SetRecorder(obs.NewCollector(c.ObsOptions()))
+	if c.Shards() != 1 {
+		t.Fatalf("shards = %d with recorder attached, want 1", c.Shards())
+	}
+	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 300, 3))); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRecorder(nil)
+	if c.Shards() != 2 {
+		t.Fatalf("shards = %d after detaching recorder, want 2", c.Shards())
+	}
+	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 300, 4))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedSteadyStateAllocFree asserts the sharded serving path inherits
+// the hot loop's zero-allocation guarantee with observability disabled: once
+// rings, slab chunks, and pending slices reach their high-water marks,
+// pipelined serving plus epoch flushes allocate nothing per request. The
+// batch is read-only so garbage collection (which allocates on its own,
+// identically on both engines) stays out of the measured window.
+func TestShardedSteadyStateAllocFree(t *testing.T) {
+	c := buildTinyShards(t, SchemeDLOOP, AutoShards)
+	preconditionTiny(t, c)
+	reqs := tinyWorkload(t, c, 2000, 29)
+	for i := range reqs {
+		reqs[i].Op = trace.OpRead
+	}
+	i := 0
+	serveBatch := func() {
+		for n := 0; n < 100; n++ {
+			if err := c.Enqueue(reqs[i%len(reqs)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+		c.Flush()
+	}
+	serveBatch() // reach steady state: slab chunks, rings, pending slices
+	serveBatch()
+	if avg := testing.AllocsPerRun(10, serveBatch); avg > 0 {
+		t.Fatalf("sharded serve path allocates %.1f times per 100-request epoch, want 0", avg)
+	}
+}
+
+// TestShardsConfigResolution pins the -shards contract: 0/1 sequential,
+// AutoShards one per channel, larger values clamped.
+func TestShardsConfigResolution(t *testing.T) {
+	for _, tc := range []struct {
+		shards int
+		want   int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {8, 2}, {AutoShards, 2},
+	} {
+		cfg := tinyConfig(SchemeDLOOP)
+		cfg.Shards = tc.shards
+		c, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Shards(); got != tc.want {
+			t.Errorf("Shards=%d resolved to %d workers, want %d (2 channels)", tc.shards, got, tc.want)
+		}
+		c.Close()
+	}
+}

@@ -59,14 +59,29 @@ fi
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-# Root package: only the end-to-end hot-path benchmarks (throughput plain and
-# with the observability recorder attached, plus the sustained-GC regime), not
-# the figure sweeps. Internal packages: every benchmark they define.
-go test -run '^$' -bench '^(BenchmarkSimulateThroughput(Observed)?|BenchmarkGCHeavy)$' -benchmem \
-    -benchtime "$benchtime" -count "$count" . | tee -a "$raw"
-go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
+# Root package: only the end-to-end hot-path benchmarks (throughput plain,
+# with the observability recorder attached, sharded vs sequential, plus the
+# sustained-GC regime), not the figure sweeps. Internal packages: every
+# benchmark they define.
+#
+# `go test | tee` would mask a benchmark failure: POSIX sh has no pipefail,
+# so under set -eu the pipeline's status is tee's (always 0) and a crashed
+# run would quietly emit a truncated baseline that -compare then trips over
+# (or worse, a fresh -o baseline silently loses benchmarks). Capture to the
+# file first, then echo it, so `go test`'s own exit status gates the script.
+run_bench() {
+    if ! go test "$@" >> "$raw" 2>&1; then
+        cat "$raw" >&2
+        echo "bench.sh: go test $* failed" >&2
+        exit 1
+    fi
+}
+run_bench -run '^$' -bench '^(BenchmarkSimulateThroughput(Observed)?|BenchmarkShardedThroughput|BenchmarkGCHeavy)$' \
+    -benchmem -benchtime "$benchtime" -count "$count" .
+run_bench -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
     ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/workload/ \
-    ./internal/trace/ ./internal/expt/ | tee -a "$raw"
+    ./internal/trace/ ./internal/expt/
+cat "$raw"
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
