@@ -224,39 +224,64 @@ func BenchmarkGCHeavy(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedThroughput compares the sequential timing engine against
-// the deterministic sharded one on the paper's 4-channel 8 GB shape (scaled),
-// driving the pipelined Enqueue path both engines share. The two
-// sub-benchmarks replay the same stream and produce bit-identical results
-// (TestShardedDifferential proves it); the ns/op ratio is the speedup the
-// shards buy. On a single-core machine the sharded engine degrades to a
-// modest scheduling overhead rather than a win — the gain needs one core per
-// channel. The sharded path must also preserve the disabled-observability
-// zero-allocation guarantee (asserted in TestShardedSteadyStateAllocFree).
+// BenchmarkShardedThroughput compares the parallel serving engines against
+// the sequential baseline on two shapes, driving the pipelined Enqueue path
+// they all share:
+//
+//   - 4ch (the paper's 8 GB shape, scaled): parallelism does not pay on this
+//     narrow shape, so AutoShards must fall back to the sequential engine —
+//     the "auto" sub-benchmark pins that fallback and must match "seq".
+//   - 8ch (the 16 GB shape, scaled): "timing" runs the deterministic sharded
+//     timing engine (bit-identical results, arithmetic offloaded), "mq" runs
+//     8 concurrent FTL shards behind the multi-queue front end with the
+//     deterministic completion merge, and "mq-relaxed" the same with
+//     per-shard folding. Sub-benchmarks with different engines replay the
+//     same stream; the differential suites pin their equivalence contracts.
+//
+// The ns/op ratio of seq to the parallel modes is the speedup the engines
+// buy; on a single-core machine they degrade to scheduling overhead instead
+// — the gain needs one core per shard. Every mode must preserve the
+// disabled-observability zero-allocation guarantee (asserted in
+// TestShardedSteadyStateAllocFree and TestMQSteadyStateAllocFree).
 func BenchmarkShardedThroughput(b *testing.B) {
 	for _, mode := range []struct {
-		name   string
-		shards int
+		name       string
+		gb         int
+		shards     int
+		ftlShards  int
+		merge      string
+		wantTiming int
+		wantFTLSh  int
 	}{
-		{"seq", 0},
-		{"sharded", dloop.AutoShards},
+		{"4ch/seq", 8, 0, 0, "", 1, 1},
+		{"4ch/auto", 8, dloop.AutoShards, 0, "", 1, 1},
+		{"8ch/seq", 16, 0, 0, "", 1, 1},
+		{"8ch/timing", 16, dloop.AutoShards, 0, "", 8, 1},
+		{"8ch/mq", 16, 0, dloop.AutoShards, dloop.MergeDeterministic, 1, 8},
+		{"8ch/mq-relaxed", 16, 0, dloop.AutoShards, dloop.MergeRelaxed, 1, 8},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			geo, err := dloop.ScaledGeometryFor(8, 2, 0.03, 0.05)
+			geo, err := dloop.ScaledGeometryFor(mode.gb, 2, 0.03, 0.05)
 			if err != nil {
 				b.Fatal(err)
 			}
-			cfg := dloop.Config{CapacityGB: 8, FTL: dloop.SchemeDLOOP, Geometry: &geo, Shards: mode.shards}
+			cfg := dloop.Config{
+				CapacityGB: mode.gb, FTL: dloop.SchemeDLOOP, Geometry: &geo,
+				Shards: mode.shards, FTLShards: mode.ftlShards, Merge: mode.merge,
+			}
 			ssd, err := dloop.New(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer ssd.Close()
-			if want := map[string]int{"seq": 1, "sharded": 4}[mode.name]; ssd.Shards() != want {
-				b.Fatalf("controller runs %d shards, want %d", ssd.Shards(), want)
+			if ssd.Shards() != mode.wantTiming {
+				b.Fatalf("controller runs %d timing shards, want %d", ssd.Shards(), mode.wantTiming)
+			}
+			if ssd.FTLShards() != mode.wantFTLSh {
+				b.Fatalf("controller runs %d FTL shards, want %d", ssd.FTLShards(), mode.wantFTLSh)
 			}
 			p := dloop.Financial1()
-			p.FootprintBytes = int64(ssd.FTL().Capacity()) * int64(geo.PageSize) / 2
+			p.FootprintBytes = int64(ssd.Capacity()) * int64(geo.PageSize) / 2
 			if err := ssd.PreconditionBytes(p.FootprintBytes); err != nil {
 				b.Fatal(err)
 			}

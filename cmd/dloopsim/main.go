@@ -41,6 +41,8 @@ func main() {
 		gcPolicy  = flag.String("gc-policy", "", "GC victim policy: greedy|costbenefit|windowed|fifo (empty = scheme default)")
 		bufPages  = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
 		shards    = flag.String("shards", "1", "timing shards: N workers (1 = sequential), or 'auto' for one per channel; results are bit-identical either way")
+		ftlShards = flag.String("ftl-shards", "1", "concurrent FTL shards: the logical space splits LPN mod N over N independent FTLs (1 = single FTL), or 'auto' for one per channel on 8+ channel shapes")
+		merge     = flag.String("merge", "", "completion merge mode with -ftl-shards > 1: deterministic|relaxed (empty = deterministic)")
 
 		metricsOut  = flag.String("metrics-out", "", "write the run's observability metrics.json to this file")
 		traceEvents = flag.String("trace-events", "", "write a Chrome trace-event/Perfetto timeline of every flash op to this file")
@@ -65,7 +67,12 @@ func main() {
 
 	nShards, err := dloop.ParseShards(*shards)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dloopsim:", err)
+		fmt.Fprintln(os.Stderr, "dloopsim: -shards:", err)
+		os.Exit(1)
+	}
+	nFTLShards, err := dloop.ParseShards(*ftlShards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dloopsim: -ftl-shards:", err)
 		os.Exit(1)
 	}
 
@@ -80,6 +87,8 @@ func main() {
 		GCPolicy:        *gcPolicy,
 		BufferPages:     *bufPages,
 		Shards:          nShards,
+		FTLShards:       nFTLShards,
+		Merge:           *merge,
 	}
 
 	ob, err := newObserver(*metricsOut, *traceEvents, *snapshotMs)

@@ -47,6 +47,20 @@ type Options struct {
 	// Shards*Workers ≈ C keeps every core busy whether the sweep is wide
 	// (many cells, sequential each) or narrow (few cells, sharded each).
 	Shards int
+	// FTLShards is the per-cell concurrent-FTL shard count, copied into every
+	// job's ssd.Config that does not set its own: 0/1 = single FTL,
+	// ssd.AutoShards = one shard per channel on shapes of 8+ channels. Unlike
+	// Shards (timing only, bit-identical), FTLShards = N is its own device
+	// organization — the logical space is partitioned LPN mod N over N
+	// independent FTLs — so sweeps comparing against recorded baselines
+	// should leave it zero.
+	FTLShards int
+	// Merge selects the front end's completion-merge mode when FTLShards > 1:
+	// "" or ssd.MergeDeterministic folds completions in arrival order
+	// (bit-reproducible), ssd.MergeRelaxed folds on the shard workers and
+	// merges per-shard accumulators (same counters/histograms, running means
+	// re-associated).
+	Merge string
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
 	// Scale shrinks workload footprints and request counts together for
@@ -306,6 +320,23 @@ func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 		for i := range jobs {
 			if jobs[i].cfg.Shards == 0 {
 				jobs[i].cfg.Shards = opt.Shards
+			}
+		}
+	}
+	// Same inheritance for the concurrent-FTL front end. FTLShards and Merge
+	// are part of the config too, so warm-up grouping keeps differently
+	// sharded cells in separate groups.
+	if opt.FTLShards != 0 {
+		for i := range jobs {
+			if jobs[i].cfg.FTLShards == 0 {
+				jobs[i].cfg.FTLShards = opt.FTLShards
+			}
+		}
+	}
+	if opt.Merge != "" {
+		for i := range jobs {
+			if jobs[i].cfg.Merge == "" {
+				jobs[i].cfg.Merge = opt.Merge
 			}
 		}
 	}

@@ -105,6 +105,13 @@ type Engine struct {
 	depth      int    // nesting level of active collections
 	collecting []bool // per plane: a collection is running here
 
+	// scratch is a free-list of relocation buffers. Sustained collection runs
+	// millions of collectOnce calls, and allocating the moved/parity slices
+	// per call was the last allocation on the GC-heavy path; a plain slice
+	// stack (rather than one buffer) keeps reuse correct when collections
+	// nest through depth.
+	scratch []*collectScratch
+
 	stats     Stats
 	rec       obs.Recorder   // nil when observability is disabled
 	victimRec VictimRecorder // non-nil only when rec implements it
@@ -191,6 +198,33 @@ func (e *Engine) MaybeCollect(plane int, ready sim.Time) (sim.Time, error) {
 	return t, nil
 }
 
+// collectScratch holds one collection's relocation buffers: the moved list
+// handed to Scheme.Redirect and the by-parity source queues. Schemes must
+// not retain the Redirect slice (none do — they fold it into their mapping
+// structures), so the buffers are reusable the moment collectOnce returns.
+type collectScratch struct {
+	moved  []ftl.Moved
+	parity [2][]int
+}
+
+// getScratch pops a scratch buffer off the free-list (or makes one), with
+// lengths reset and capacities kept.
+func (e *Engine) getScratch() *collectScratch {
+	n := len(e.scratch)
+	if n == 0 {
+		return &collectScratch{}
+	}
+	s := e.scratch[n-1]
+	e.scratch = e.scratch[:n-1]
+	s.moved = s.moved[:0]
+	s.parity[0] = s.parity[0][:0]
+	s.parity[1] = s.parity[1][:0]
+	return s
+}
+
+// putScratch returns a buffer to the free-list.
+func (e *Engine) putScratch(s *collectScratch) { e.scratch = append(e.scratch, s) }
+
 // collectOnce runs one garbage collection: pick a victim by policy, relocate
 // its valid pages per the move style, redirect the mappings, erase, and
 // release the block.
@@ -220,7 +254,8 @@ func (e *Engine) collectOnce(plane int, ready sim.Time) (end sim.Time, reclaimed
 		destPlane = victim.Plane
 	}
 	t := ready
-	var moved []ftl.Moved
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 	first := e.geo.FirstPPN(victim)
 	ppb := e.geo.PagesPerBlock
 
@@ -240,28 +275,30 @@ func (e *Engine) collectOnce(plane int, ready sim.Time) (end sim.Time, reclaimed
 			if err != nil {
 				return 0, false, err
 			}
-			moved = append(moved, ftl.Moved{Stored: stored, New: dst})
+			sc.moved = append(sc.moved, ftl.Moved{Stored: stored, New: dst})
 		}
 	} else {
 		// Gather the victim's valid pages by in-block offset parity. Moves
 		// are ordered so the source parity matches the destination write
 		// point whenever possible; a page is wasted only when the remaining
 		// pages are all of the "wrong" parity — §III.A's worst case of about
-		// m/2 wasted pages when m same-parity pages must move.
-		var byParity [2][]int
+		// m/2 wasted pages when m same-parity pages must move. head indexes
+		// into the parity queues instead of re-slicing them, so the scratch
+		// buffers keep their full capacity for the next collection.
 		for p := 0; p < ppb; p++ {
 			if e.dev.PageState(first+flash.PPN(p)) == flash.PageValid {
-				byParity[p%2] = append(byParity[p%2], p)
+				sc.parity[p%2] = append(sc.parity[p%2], p)
 			}
 		}
-		for len(byParity[0])+len(byParity[1]) > 0 {
+		var head [2]int
+		for head[0] < len(sc.parity[0]) || head[1] < len(sc.parity[1]) {
 			external := e.cfg.Style == MoveExternalParity
 			var want int
 			if external {
-				want = pickAny(byParity) // parity is a copy-back-only restriction
+				want = pickAny(&sc.parity, head) // parity is a copy-back-only restriction
 			} else {
 				want = e.scheme.DestParity(destPlane)
-				if len(byParity[want]) == 0 {
+				if head[want] >= len(sc.parity[want]) {
 					// Only wrong-parity sources remain. Normally the engine
 					// wastes one destination page to flip the write point's
 					// parity. When the plane is critically low on free
@@ -285,11 +322,11 @@ func (e *Engine) collectOnce(plane int, ready sim.Time) (end sim.Time, reclaimed
 						continue
 					}
 					external = true
-					want = pickAny(byParity)
+					want = pickAny(&sc.parity, head)
 				}
 			}
-			p := byParity[want][0]
-			byParity[want] = byParity[want][1:]
+			p := sc.parity[want][head[want]]
+			head[want]++
 			src := first + flash.PPN(p)
 			stored := e.dev.PageLPN(src)
 			var dst flash.PPN
@@ -313,11 +350,11 @@ func (e *Engine) collectOnce(plane int, ready sim.Time) (end sim.Time, reclaimed
 					e.rec.RecordEvent(obs.EvGCCopyBack, t)
 				}
 			}
-			moved = append(moved, ftl.Moved{Stored: stored, New: dst})
+			sc.moved = append(sc.moved, ftl.Moved{Stored: stored, New: dst})
 		}
 	}
 
-	t, err = e.scheme.Redirect(moved, t)
+	t, err = e.scheme.Redirect(sc.moved, t)
 	if err != nil {
 		return 0, false, err
 	}
@@ -371,9 +408,9 @@ func (e *Engine) RecordVictim(valid int, at sim.Time) {
 	}
 }
 
-// pickAny returns the parity class that still has pages, preferring even.
-func pickAny(byParity [2][]int) int {
-	if len(byParity[0]) > 0 {
+// pickAny returns the parity class with unconsumed pages, preferring even.
+func pickAny(parity *[2][]int, head [2]int) int {
+	if head[0] < len(parity[0]) {
 		return 0
 	}
 	return 1

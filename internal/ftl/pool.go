@@ -10,21 +10,53 @@ import (
 // maintains a pool per plane (§III.C); DFTL and FAST draw from the device
 // globally in plane-major order, which is what concentrates their allocation
 // on low-numbered planes (§V.B's explanation of DFTL's TPC-C collapse).
+//
+// Each plane's pool is a FIFO queue (blocks hand out in the order they were
+// freed, starting from block 0 on a fresh device) backed by a fixed circular
+// buffer: a plane can never hold more than BlocksPerPlane free blocks, so
+// the buffer never grows and sustained take/put churn under garbage
+// collection allocates nothing.
 type FreeBlocks struct {
-	perPlane [][]int // free in-plane block indices, ascending (used as a stack from the front)
-	total    int
+	planes []planeQueue
+	total  int
+}
+
+// planeQueue is one plane's FIFO of free in-plane block indices.
+type planeQueue struct {
+	buf  []int
+	head int // index of the front element
+	n    int // queued count
+}
+
+func (q *planeQueue) take() int {
+	b := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.n--
+	return b
+}
+
+func (q *planeQueue) put(b int) {
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = b
+	q.n++
 }
 
 // NewFreeBlocks returns a pool containing every block of the geometry, all
 // free (a freshly erased device).
 func NewFreeBlocks(geo flash.Geometry) *FreeBlocks {
-	f := &FreeBlocks{perPlane: make([][]int, geo.Planes())}
-	for p := range f.perPlane {
+	f := &FreeBlocks{planes: make([]planeQueue, geo.Planes())}
+	for p := range f.planes {
 		blocks := make([]int, geo.BlocksPerPlane)
 		for b := range blocks {
 			blocks[b] = b
 		}
-		f.perPlane[p] = blocks
+		f.planes[p] = planeQueue{buf: blocks, n: geo.BlocksPerPlane}
 	}
 	f.total = geo.Planes() * geo.BlocksPerPlane
 	return f
@@ -34,25 +66,23 @@ func NewFreeBlocks(geo flash.Geometry) *FreeBlocks {
 func (f *FreeBlocks) Total() int { return f.total }
 
 // InPlane returns the number of free blocks on one plane.
-func (f *FreeBlocks) InPlane(plane int) int { return len(f.perPlane[plane]) }
+func (f *FreeBlocks) InPlane(plane int) int { return f.planes[plane].n }
 
-// TakeFromPlane removes and returns the lowest-numbered free block of the
-// given plane. ok is false if the plane has none.
+// TakeFromPlane removes and returns the longest-free block of the given
+// plane. ok is false if the plane has none.
 func (f *FreeBlocks) TakeFromPlane(plane int) (pb flash.PlaneBlock, ok bool) {
-	blocks := f.perPlane[plane]
-	if len(blocks) == 0 {
+	q := &f.planes[plane]
+	if q.n == 0 {
 		return flash.PlaneBlock{}, false
 	}
-	b := blocks[0]
-	f.perPlane[plane] = blocks[1:]
 	f.total--
-	return flash.PlaneBlock{Plane: plane, Block: b}, true
+	return flash.PlaneBlock{Plane: plane, Block: q.take()}, true
 }
 
 // TakeAny removes and returns a free block in plane-major order: the
 // lowest-numbered plane that has one. ok is false if the device has none.
 func (f *FreeBlocks) TakeAny() (pb flash.PlaneBlock, ok bool) {
-	for plane := range f.perPlane {
+	for plane := range f.planes {
 		if pb, ok := f.TakeFromPlane(plane); ok {
 			return pb, true
 		}
@@ -60,13 +90,15 @@ func (f *FreeBlocks) TakeAny() (pb flash.PlaneBlock, ok bool) {
 	return flash.PlaneBlock{}, false
 }
 
-// Put returns an erased block to its plane's pool.
+// Put returns an erased block to the back of its plane's queue.
 func (f *FreeBlocks) Put(pb flash.PlaneBlock) {
-	f.perPlane[pb.Plane] = append(f.perPlane[pb.Plane], pb.Block)
+	f.planes[pb.Plane].put(pb.Block)
 	f.total++
 }
 
-// FreeBlocksState is a deep copy of a pool, for checkpoint/fork.
+// FreeBlocksState is a deep copy of a pool, for checkpoint/fork. Contents
+// are stored linearized in queue order, so the state is ring-layout
+// independent.
 type FreeBlocksState struct {
 	perPlane [][]int
 	total    int
@@ -74,23 +106,34 @@ type FreeBlocksState struct {
 
 // Snapshot captures the pool's contents.
 func (f *FreeBlocks) Snapshot() FreeBlocksState {
-	s := FreeBlocksState{perPlane: make([][]int, len(f.perPlane)), total: f.total}
-	for p, blocks := range f.perPlane {
-		s.perPlane[p] = append([]int(nil), blocks...)
+	s := FreeBlocksState{perPlane: make([][]int, len(f.planes)), total: f.total}
+	for p := range f.planes {
+		q := &f.planes[p]
+		blocks := make([]int, q.n)
+		for i := 0; i < q.n; i++ {
+			j := q.head + i
+			if j >= len(q.buf) {
+				j -= len(q.buf)
+			}
+			blocks[i] = q.buf[j]
+		}
+		s.perPlane[p] = blocks
 	}
 	return s
 }
 
-// Restore rewinds the pool to a snapshot of the same geometry. The per-plane
-// slices are re-copied (TakeFromPlane re-slices from the front, so the live
-// slices cannot be reused in place).
+// Restore rewinds the pool to a snapshot of the same geometry, reusing the
+// live ring buffers.
 func (f *FreeBlocks) Restore(s FreeBlocksState) {
 	for p, blocks := range s.perPlane {
-		f.perPlane[p] = append([]int(nil), blocks...)
+		q := &f.planes[p]
+		q.head = 0
+		q.n = len(blocks)
+		copy(q.buf, blocks)
 	}
 	f.total = s.total
 }
 
 func (f *FreeBlocks) String() string {
-	return fmt.Sprintf("free blocks: %d over %d planes", f.total, len(f.perPlane))
+	return fmt.Sprintf("free blocks: %d over %d planes", f.total, len(f.planes))
 }

@@ -106,7 +106,11 @@ func ScanOOB(dev *flash.Device, capacity LPN, translationPages int) (*RecoveredS
 // NewEmptyFreeBlocks returns a pool with no free blocks; recovery fills it
 // from the scan.
 func NewEmptyFreeBlocks(geo flash.Geometry) *FreeBlocks {
-	return &FreeBlocks{perPlane: make([][]int, geo.Planes())}
+	f := &FreeBlocks{planes: make([]planeQueue, geo.Planes())}
+	for p := range f.planes {
+		f.planes[p].buf = make([]int, geo.BlocksPerPlane)
+	}
+	return f
 }
 
 // AdoptState installs a recovered table and GTD into the mapper (the CMT

@@ -24,7 +24,14 @@ type SPSC[T any] struct {
 	buf  []T
 	mask uint64
 
-	_    [56]byte // keep producer and consumer indices on separate cache lines
+	// stage is the producer-local write cursor for the batched-doorbell API:
+	// PushStaged writes elements at stage without publishing them, Ring
+	// publishes everything staged with one tail store (the doorbell). It is
+	// touched only by the producer, so it needs no atomicity; tail is what
+	// the consumer synchronizes on.
+	stage uint64
+
+	_    [48]byte // keep producer and consumer indices on separate cache lines
 	tail atomic.Uint64
 	_    [56]byte
 	head atomic.Uint64
@@ -50,15 +57,40 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 	}
 }
 
-// Push appends v. Producer only. If the ring is full it yields until the
-// consumer frees a slot; backpressure, not growth, bounds memory.
+// Push appends v and publishes it immediately: PushStaged plus Ring.
+// Producer only. If the ring is full it yields until the consumer frees a
+// slot; backpressure, not growth, bounds memory.
 func (q *SPSC[T]) Push(v T) {
-	t := q.tail.Load()
-	for t-q.head.Load() > q.mask {
-		runtime.Gosched()
+	q.PushStaged(v)
+	q.Ring()
+}
+
+// PushStaged appends v without publishing it: the element is written into
+// the ring but stays invisible to the consumer until the next Ring (or any
+// call that implies one). Batching several stores per doorbell is what keeps
+// a multi-queue producer from bouncing the tail cache line on every page.
+// Producer only.
+func (q *SPSC[T]) PushStaged(v T) {
+	if q.stage-q.head.Load() > q.mask {
+		// The ring is full counting staged elements. Publish what we have so
+		// the consumer can drain, then wait for a slot.
+		q.Ring()
+		for q.stage-q.head.Load() > q.mask {
+			runtime.Gosched()
+		}
 	}
-	q.buf[t&q.mask] = v
-	q.tail.Store(t + 1)
+	q.buf[q.stage&q.mask] = v
+	q.stage++
+}
+
+// Ring publishes every staged element with a single tail store and wakes a
+// parked consumer: the doorbell. A no-op when nothing is staged. Producer
+// only.
+func (q *SPSC[T]) Ring() {
+	if q.stage == q.tail.Load() {
+		return
+	}
+	q.tail.Store(q.stage)
 	if q.sleeping.Load() {
 		select {
 		case q.wake <- struct{}{}:
@@ -67,8 +99,10 @@ func (q *SPSC[T]) Push(v T) {
 	}
 }
 
-// Close marks the stream complete and wakes the consumer. Producer only.
+// Close publishes anything staged, marks the stream complete, and wakes the
+// consumer. Producer only.
 func (q *SPSC[T]) Close() {
+	q.Ring()
 	q.closed.Store(true)
 	select {
 	case q.wake <- struct{}{}:
@@ -120,8 +154,10 @@ func (q *SPSC[T]) MarkDone() { q.done.Add(1) }
 func (q *SPSC[T]) Quiesced() bool { return q.done.Load() == q.tail.Load() }
 
 // AwaitQuiesced blocks until the consumer has fully processed every element
-// pushed so far: the epoch barrier. Producer only.
+// pushed so far: the epoch barrier. It rings the doorbell first, so elements
+// still staged by PushStaged cannot be waited on invisibly. Producer only.
 func (q *SPSC[T]) AwaitQuiesced() {
+	q.Ring()
 	for !q.Quiesced() {
 		runtime.Gosched()
 	}

@@ -117,3 +117,97 @@ func TestSPSCParkWake(t *testing.T) {
 	}
 	q.Close()
 }
+
+func TestSPSCStagedDoorbell(t *testing.T) {
+	q := NewSPSC[int](8)
+	// Staged elements are invisible until the doorbell rings.
+	q.PushStaged(1)
+	q.PushStaged(2)
+	if q.tail.Load() != 0 {
+		t.Fatalf("staged elements published early: tail=%d", q.tail.Load())
+	}
+	q.Ring()
+	if q.tail.Load() != 2 {
+		t.Fatalf("doorbell published tail=%d, want 2", q.tail.Load())
+	}
+	for want := 1; want <= 2; want++ {
+		v, ok := q.PopWait()
+		if !ok || v != want {
+			t.Fatalf("popped %d/%v, want %d", v, ok, want)
+		}
+		q.MarkDone()
+	}
+	// Ring with nothing staged is a no-op.
+	q.Ring()
+	if q.tail.Load() != 2 {
+		t.Fatalf("empty ring moved tail to %d", q.tail.Load())
+	}
+	// AwaitQuiesced publishes staged elements first, so a staged-only batch
+	// cannot be waited on invisibly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := q.PopWait(); !ok {
+				return
+			}
+			q.MarkDone()
+		}
+	}()
+	q.PushStaged(3)
+	q.AwaitQuiesced()
+	if got := q.done.Load(); got != 3 {
+		t.Fatalf("quiesced with done=%d, want 3", got)
+	}
+	q.Close()
+	<-done
+}
+
+func TestSPSCStagedBackpressure(t *testing.T) {
+	// Capacity 4: staging past the ring's size must ring the doorbell itself
+	// and wait for the consumer rather than overwrite unconsumed elements.
+	q := NewSPSC[int](4)
+	const n = 64
+	var got []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			v, ok := q.PopWait()
+			if !ok {
+				return
+			}
+			got = append(got, v)
+			q.MarkDone()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		q.PushStaged(i)
+	}
+	q.Close()
+	<-done
+	if len(got) != n {
+		t.Fatalf("consumer saw %d elements, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element %d = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestSPSCPushAfterStagedKeepsOrder(t *testing.T) {
+	q := NewSPSC[int](16)
+	q.PushStaged(1)
+	q.Push(2) // immediate push must publish the staged element too
+	if q.tail.Load() != 2 {
+		t.Fatalf("tail=%d after Push following PushStaged, want 2", q.tail.Load())
+	}
+	for want := 1; want <= 2; want++ {
+		v, ok := q.PopWait()
+		if !ok || v != want {
+			t.Fatalf("popped %d/%v, want %d", v, ok, want)
+		}
+		q.MarkDone()
+	}
+}

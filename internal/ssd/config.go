@@ -81,6 +81,26 @@ type Config struct {
 	// clamped to the channel count. Attaching an observability recorder
 	// forces the sequential engine for as long as it stays attached.
 	Shards int
+	// FTLShards partitions the logical address space over this many
+	// concurrent FTL shards behind a multi-queue host front end (see
+	// frontend.go). Each shard owns a private sub-device of
+	// Channels/FTLShards channels with its own mapping state, free-block
+	// pools, garbage collector, and worker goroutine, so placement and
+	// collection decisions run concurrently — a different (striped) device
+	// organization, not an accelerated identical one. 0 or 1 keeps the
+	// single-FTL engine; AutoShards uses one shard per channel on devices
+	// with at least 8 channels and the single-FTL engine below that; other
+	// values are reduced to the largest divisor of the channel count.
+	// Incompatible with BufferPages.
+	FTLShards int
+	// Merge selects how per-shard completions merge into response-time
+	// statistics when FTLShards > 1: MergeDeterministic (the default, "")
+	// folds at epoch barriers in arrival order, bit-identical to serial
+	// in-order execution of the same shard layout; MergeRelaxed folds
+	// single-page requests on the shard workers, trading the bit-exact
+	// floating-point accumulation order for less host-side work (histograms
+	// and counters still merge exactly).
+	Merge string
 
 	// Geometry, when non-nil, overrides the capacity-derived geometry
 	// entirely (tests use miniature devices).
@@ -182,39 +202,28 @@ func extraBlocksFor(dataBlocks int, extraPct float64, gcThreshold int) int {
 	return extra
 }
 
-// Build constructs the device and FTL described by cfg.
-func Build(cfg Config) (*Controller, error) {
-	cfg.setDefaults()
-	var geo flash.Geometry
-	var extra int
+// resolveGeometry derives the device geometry and per-plane extra-block
+// count a Config describes (from an explicit override or the capacity).
+func resolveGeometry(cfg Config) (flash.Geometry, int, error) {
 	if cfg.Geometry != nil {
-		geo = *cfg.Geometry
+		geo := *cfg.Geometry
 		if err := geo.Validate(); err != nil {
-			return nil, err
+			return flash.Geometry{}, 0, err
 		}
-		extra = ftl.ExtraBlocksPerPlane(geo.BlocksPerPlane, cfg.ExtraPct, cfg.GCThreshold)
-	} else {
-		var err error
-		geo, err = GeometryFor(cfg.CapacityGB, cfg.PageSizeKB, cfg.ExtraPct, cfg.GCThreshold)
-		if err != nil {
-			return nil, err
-		}
-		dataBlocks := refBlocksPerPlane * refPageKB / cfg.PageSizeKB
-		extra = geo.BlocksPerPlane - dataBlocks
+		return geo, ftl.ExtraBlocksPerPlane(geo.BlocksPerPlane, cfg.ExtraPct, cfg.GCThreshold), nil
 	}
-	timing := flash.DefaultTiming()
-	if cfg.Timing != nil {
-		timing = *cfg.Timing
-	}
-	dev, err := flash.NewDevice(geo, timing)
+	geo, err := GeometryFor(cfg.CapacityGB, cfg.PageSizeKB, cfg.ExtraPct, cfg.GCThreshold)
 	if err != nil {
-		return nil, err
+		return flash.Geometry{}, 0, err
 	}
+	return geo, geo.BlocksPerPlane - refBlocksPerPlane*refPageKB/cfg.PageSizeKB, nil
+}
 
-	var f ftl.FTL
+// buildFTL constructs the configured FTL scheme, fresh, over dev.
+func buildFTL(dev *flash.Device, cfg Config, extra int) (ftl.FTL, error) {
 	switch cfg.FTL {
 	case SchemeDLOOP:
-		f, err = dloop.New(dev, dloop.Config{
+		return dloop.New(dev, dloop.Config{
 			CMTEntries:      cfg.CMTEntries,
 			GCThreshold:     cfg.GCThreshold,
 			ExtraPerPlane:   extra,
@@ -224,34 +233,110 @@ func Build(cfg Config) (*Controller, error) {
 			GCPolicy:        cfg.GCPolicy,
 		})
 	case SchemeDFTL:
-		f, err = dftl.New(dev, dftl.Config{
+		return dftl.New(dev, dftl.Config{
 			CMTEntries:    cfg.CMTEntries,
 			GCThreshold:   cfg.GCThreshold,
 			ExtraPerPlane: extra,
 			GCPolicy:      cfg.GCPolicy,
 		})
 	case SchemeFAST:
-		f, err = fast.New(dev, fast.Config{
+		return fast.New(dev, fast.Config{
 			ExtraPerPlane: extra,
 			LogBlocks:     cfg.LogBlocks,
 			GCPolicy:      cfg.GCPolicy,
 		})
 	case SchemeBAST:
-		f, err = bast.New(dev, bast.Config{
+		return bast.New(dev, bast.Config{
 			ExtraPerPlane: extra,
 			LogBlocks:     cfg.LogBlocks,
 			GCPolicy:      cfg.GCPolicy,
 		})
 	case SchemePureMap, SchemePureMapStriped:
-		f, err = pagemap.New(dev, pagemap.Config{
+		return pagemap.New(dev, pagemap.Config{
 			GCThreshold:   cfg.GCThreshold,
 			ExtraPerPlane: extra,
 			Striped:       cfg.FTL == SchemePureMapStriped,
 			GCPolicy:      cfg.GCPolicy,
 		})
-	default:
-		err = fmt.Errorf("ssd: unknown FTL %q (want %v)", cfg.FTL, Schemes())
 	}
+	return nil, fmt.Errorf("ssd: unknown FTL %q (want %v)", cfg.FTL, Schemes())
+}
+
+// recoverFTL reconstructs the configured FTL scheme over dev from its
+// out-of-band page tags (each scheme's NewRecovered).
+func recoverFTL(dev *flash.Device, cfg Config, extra int) (ftl.FTL, error) {
+	switch cfg.FTL {
+	case SchemeDLOOP:
+		return dloop.NewRecovered(dev, dloop.Config{
+			CMTEntries:      cfg.CMTEntries,
+			GCThreshold:     cfg.GCThreshold,
+			ExtraPerPlane:   extra,
+			DisableCopyBack: cfg.DisableCopyBack,
+			AdaptiveGC:      cfg.AdaptiveGC,
+			StripeBy:        dloop.Striping(cfg.StripeBy),
+			GCPolicy:        cfg.GCPolicy,
+		})
+	case SchemeDFTL:
+		return dftl.NewRecovered(dev, dftl.Config{
+			CMTEntries:    cfg.CMTEntries,
+			GCThreshold:   cfg.GCThreshold,
+			ExtraPerPlane: extra,
+			GCPolicy:      cfg.GCPolicy,
+		})
+	case SchemeFAST:
+		return fast.NewRecovered(dev, fast.Config{
+			ExtraPerPlane: extra,
+			LogBlocks:     cfg.LogBlocks,
+			GCPolicy:      cfg.GCPolicy,
+		})
+	case SchemeBAST:
+		return bast.NewRecovered(dev, bast.Config{
+			ExtraPerPlane: extra,
+			LogBlocks:     cfg.LogBlocks,
+			GCPolicy:      cfg.GCPolicy,
+		})
+	case SchemePureMap, SchemePureMapStriped:
+		return pagemap.NewRecovered(dev, pagemap.Config{
+			GCThreshold:   cfg.GCThreshold,
+			ExtraPerPlane: extra,
+			Striped:       cfg.FTL == SchemePureMapStriped,
+			GCPolicy:      cfg.GCPolicy,
+		})
+	}
+	return nil, fmt.Errorf("ssd: unknown FTL %q (want %v)", cfg.FTL, Schemes())
+}
+
+// Build constructs the device and FTL described by cfg — or, with
+// FTLShards > 1, the N-shard multi-queue front end.
+func Build(cfg Config) (*Controller, error) {
+	cfg.setDefaults()
+	switch cfg.Merge {
+	case "", MergeDeterministic, MergeRelaxed:
+	default:
+		return nil, fmt.Errorf("ssd: unknown merge mode %q (want %q or %q)", cfg.Merge, MergeDeterministic, MergeRelaxed)
+	}
+	geo, extra, err := resolveGeometry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	timing := flash.DefaultTiming()
+	if cfg.Timing != nil {
+		timing = *cfg.Timing
+	}
+	if n := resolveFTLShards(cfg.FTLShards, geo.Channels); n > 1 {
+		fe, err := newFrontEnd(geo, timing, n, cfg, func(dev *flash.Device) (ftl.FTL, error) {
+			return buildFTL(dev, cfg, extra)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newFEController(fe, cfg), nil
+	}
+	dev, err := flash.NewDevice(geo, timing)
+	if err != nil {
+		return nil, err
+	}
+	f, err := buildFTL(dev, cfg, extra)
 	if err != nil {
 		return nil, err
 	}
@@ -290,21 +375,9 @@ func ScaledGeometryFor(capacityGB, pageSizeKB int, extraPct float64, gcThreshold
 // does not fit a configuration.
 func ExportedBytes(cfg Config) (int64, error) {
 	cfg.setDefaults()
-	var geo flash.Geometry
-	var extra int
-	if cfg.Geometry != nil {
-		geo = *cfg.Geometry
-		if err := geo.Validate(); err != nil {
-			return 0, err
-		}
-		extra = ftl.ExtraBlocksPerPlane(geo.BlocksPerPlane, cfg.ExtraPct, cfg.GCThreshold)
-	} else {
-		var err error
-		geo, err = GeometryFor(cfg.CapacityGB, cfg.PageSizeKB, cfg.ExtraPct, cfg.GCThreshold)
-		if err != nil {
-			return 0, err
-		}
-		extra = geo.BlocksPerPlane - refBlocksPerPlane*refPageKB/cfg.PageSizeKB
+	geo, extra, err := resolveGeometry(cfg)
+	if err != nil {
+		return 0, err
 	}
 	return int64(ftl.ExportedPages(geo, extra)) * int64(geo.PageSize), nil
 }
@@ -323,50 +396,19 @@ func (c *Controller) Recover() (*Controller, error) {
 	if cfg.Geometry != nil {
 		extra = ftl.ExtraBlocksPerPlane(cfg.Geometry.BlocksPerPlane, cfg.ExtraPct, cfg.GCThreshold)
 	} else {
-		extra = c.dev.Geometry().BlocksPerPlane - refBlocksPerPlane*refPageKB/cfg.PageSizeKB
+		extra = c.Geometry().BlocksPerPlane - refBlocksPerPlane*refPageKB/cfg.PageSizeKB
 	}
-	var f ftl.FTL
-	var err error
-	switch cfg.FTL {
-	case SchemeDLOOP:
-		f, err = dloop.NewRecovered(c.dev, dloop.Config{
-			CMTEntries:      cfg.CMTEntries,
-			GCThreshold:     cfg.GCThreshold,
-			ExtraPerPlane:   extra,
-			DisableCopyBack: cfg.DisableCopyBack,
-			AdaptiveGC:      cfg.AdaptiveGC,
-			StripeBy:        dloop.Striping(cfg.StripeBy),
-			GCPolicy:        cfg.GCPolicy,
-		})
-	case SchemeDFTL:
-		f, err = dftl.NewRecovered(c.dev, dftl.Config{
-			CMTEntries:    cfg.CMTEntries,
-			GCThreshold:   cfg.GCThreshold,
-			ExtraPerPlane: extra,
-			GCPolicy:      cfg.GCPolicy,
-		})
-	case SchemeFAST:
-		f, err = fast.NewRecovered(c.dev, fast.Config{
-			ExtraPerPlane: extra,
-			LogBlocks:     cfg.LogBlocks,
-			GCPolicy:      cfg.GCPolicy,
-		})
-	case SchemeBAST:
-		f, err = bast.NewRecovered(c.dev, bast.Config{
-			ExtraPerPlane: extra,
-			LogBlocks:     cfg.LogBlocks,
-			GCPolicy:      cfg.GCPolicy,
-		})
-	case SchemePureMap, SchemePureMapStriped:
-		f, err = pagemap.NewRecovered(c.dev, pagemap.Config{
-			GCThreshold:   cfg.GCThreshold,
-			ExtraPerPlane: extra,
-			Striped:       cfg.FTL == SchemePureMapStriped,
-			GCPolicy:      cfg.GCPolicy,
-		})
-	default:
-		err = fmt.Errorf("ssd: unknown FTL %q (want %v)", cfg.FTL, Schemes())
+	if c.fe != nil {
+		c.Flush()
+		nfe, err := c.fe.recoverShards(cfg, extra)
+		if err != nil {
+			return nil, err
+		}
+		nc := newFEController(nfe, cfg)
+		nc.ResetMeasurement()
+		return nc, nil
 	}
+	f, err := recoverFTL(c.dev, cfg, extra)
 	if err != nil {
 		return nil, err
 	}

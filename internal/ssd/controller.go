@@ -24,9 +24,17 @@ import (
 // and measures response times from arrival to the completion of the last
 // page. Not safe for concurrent use.
 type Controller struct {
+	// dev and f are the single-FTL engine's device and translation layer.
+	// They are nil on a front-end controller (Config.FTLShards > 1), where
+	// every page operation routes through fe's shards instead; use
+	// Geometry/Capacity/ShardDevice/ShardFTL to stay engine-agnostic.
 	dev *flash.Device
 	f   ftl.FTL
 	cfg Config
+
+	// fe, when non-nil, is the multi-queue front end over N concurrent FTL
+	// shards (see frontend.go).
+	fe *frontEnd
 
 	sectorsPerPage int64
 
@@ -50,7 +58,11 @@ type Controller struct {
 	par      bool
 	pend     []pendingDone
 	pendEnds []sim.Time
-	lastRT   sim.Duration
+	// pendShards tags each pendEnds entry with its FTL shard so the
+	// front end's serial mode can resolve timing-engine futures against the
+	// right sub-device. Unused (empty) on the other paths.
+	pendShards []int8
+	lastRT     sim.Duration
 
 	// latHook, when set, receives every request's response time in arrival
 	// order on both engines; the differential tests use it to compare the
@@ -71,6 +83,16 @@ func newController(dev *flash.Device, f ftl.FTL, cfg Config) *Controller {
 	return c
 }
 
+// newFEController wraps a multi-queue front end in a Controller. dev and f
+// stay nil; the front end owns one device and FTL per shard.
+func newFEController(fe *frontEnd, cfg Config) *Controller {
+	return &Controller{
+		fe:             fe,
+		cfg:            cfg,
+		sectorsPerPage: int64(fe.geo.PageSize / trace.SectorSize),
+	}
+}
+
 // EnableTimeSeries records per-request response times bucketed by arrival
 // time, exposing latency evolution (GC stalls show as spikes). Call before
 // Run; retrieve with TimeSeries.
@@ -86,11 +108,65 @@ func (c *Controller) EnableTimeSeries(bucket sim.Duration) error {
 // TimeSeries returns the response-time series, or nil if not enabled.
 func (c *Controller) TimeSeries() *stats.TimeSeries { return c.series }
 
-// Device exposes the underlying flash device (read-only use intended).
+// Device exposes the underlying flash device (read-only use intended). It is
+// nil on a front-end controller — use ShardDevice there.
 func (c *Controller) Device() *flash.Device { return c.dev }
 
-// FTL exposes the flash translation layer in use.
+// FTL exposes the flash translation layer in use. It is nil on a front-end
+// controller — use ShardFTL there.
 func (c *Controller) FTL() ftl.FTL { return c.f }
+
+// Geometry returns the whole-device geometry on either engine.
+func (c *Controller) Geometry() flash.Geometry {
+	if c.fe != nil {
+		return c.fe.geo
+	}
+	return c.dev.Geometry()
+}
+
+// Capacity returns the exported logical-page count on either engine.
+func (c *Controller) Capacity() ftl.LPN {
+	if c.fe != nil {
+		return c.fe.cap
+	}
+	return c.f.Capacity()
+}
+
+// FTLShards returns the number of concurrent FTL shards (1 = single FTL).
+func (c *Controller) FTLShards() int {
+	if c.fe != nil {
+		return len(c.fe.shards)
+	}
+	return 1
+}
+
+// ShardFTL returns FTL shard i's translation layer (read-only use intended).
+// On a single-FTL controller, shard 0 is the FTL itself.
+func (c *Controller) ShardFTL(i int) ftl.FTL {
+	if c.fe != nil {
+		return c.fe.shards[i].f
+	}
+	return c.f
+}
+
+// ShardDevice returns FTL shard i's sub-device (read-only use intended). On
+// a single-FTL controller, shard 0 is the device itself.
+func (c *Controller) ShardDevice(i int) *flash.Device {
+	if c.fe != nil {
+		return c.fe.shards[i].dev
+	}
+	return c.dev
+}
+
+// ShardOfLPN returns the FTL shard owning a logical page and the
+// shard-local page it maps to there (identity on a single-FTL controller).
+func (c *Controller) ShardOfLPN(lpn ftl.LPN) (shard int, local ftl.LPN) {
+	if c.fe != nil {
+		sh, l := c.fe.shardOf(lpn)
+		return sh.idx, ftl.LPN(l)
+	}
+	return 0, lpn
+}
 
 // Config returns the configuration the controller was built with.
 func (c *Controller) Config() Config { return c.cfg }
@@ -99,15 +175,23 @@ func (c *Controller) Config() Config { return c.cfg }
 // name and the device's plane/channel shape. Callers add sinks and the
 // snapshot interval before obs.NewCollector.
 func (c *Controller) ObsOptions() obs.Options {
-	geo := c.dev.Geometry()
+	geo := c.Geometry()
+	var channelOfPlane []int32
+	f := c.f
+	if c.fe != nil {
+		channelOfPlane = c.fe.channelOfPlane()
+		f = c.fe.shards[0].f
+	} else {
+		channelOfPlane = c.dev.ChannelOfPlane()
+	}
 	opts := obs.Options{
-		FTL:            c.f.Name(),
+		FTL:            f.Name(),
 		Planes:         geo.Planes(),
 		Channels:       geo.Channels,
-		ChannelOfPlane: c.dev.ChannelOfPlane(),
+		ChannelOfPlane: channelOfPlane,
 		PagesPerBlock:  geo.PagesPerBlock,
 	}
-	if p, ok := c.f.(interface{ GCPolicyName() string }); ok {
+	if p, ok := f.(interface{ GCPolicyName() string }); ok {
 		opts.GCPolicy = p.GCPolicyName()
 	}
 	return opts
@@ -120,6 +204,10 @@ func (c *Controller) ObsOptions() obs.Options {
 // busy-time utilization at Close. Attach after preconditioning so the stream
 // covers exactly the measured window.
 func (c *Controller) SetRecorder(r obs.Recorder) {
+	if c.fe != nil {
+		c.fe.setRecorder(c, r)
+		return
+	}
 	if r != nil && c.par {
 		// Per-op trace events are inherently ordered, so observability runs
 		// use the sequential engine; sharding resumes when detached.
@@ -159,6 +247,9 @@ func (c *Controller) pageSpan(r trace.Request) (first, last ftl.LPN) {
 // capacity trend of Fig. 8. All statistics and resource timelines are then
 // reset.
 func (c *Controller) Precondition(pages ftl.LPN) error {
+	if c.fe != nil {
+		return c.fe.precondition(c, pages)
+	}
 	if pages > c.f.Capacity() {
 		return fmt.Errorf("ssd: precondition %d pages exceeds capacity %d", pages, c.f.Capacity())
 	}
@@ -183,7 +274,7 @@ func (c *Controller) Precondition(pages ftl.LPN) error {
 
 // PreconditionBytes preconditions enough pages to cover a byte footprint.
 func (c *Controller) PreconditionBytes(bytes int64) error {
-	pageSize := int64(c.dev.Geometry().PageSize)
+	pageSize := int64(c.Geometry().PageSize)
 	return c.Precondition(ftl.LPN((bytes + pageSize - 1) / pageSize))
 }
 
@@ -191,7 +282,11 @@ func (c *Controller) PreconditionBytes(bytes int64) error {
 // keeping device and FTL state, so measurement starts from now.
 func (c *Controller) ResetMeasurement() {
 	c.discardPending()
-	c.dev.ResetStats()
+	if c.fe != nil {
+		c.fe.resetMeasurement()
+	} else {
+		c.dev.ResetStats()
+	}
 	c.lastRT = 0
 	c.resp = stats.Welford{}
 	c.readResp = stats.Welford{}
@@ -212,6 +307,16 @@ func (c *Controller) ResetMeasurement() {
 // replaying whole traces should prefer Run (or Enqueue+Flush), which
 // pipelines many requests per barrier.
 func (c *Controller) Serve(r trace.Request) (sim.Duration, error) {
+	if c.fe != nil {
+		if err := c.fe.enqueue(c, r, false); err != nil {
+			return 0, err
+		}
+		c.Flush()
+		if c.fe.err != nil {
+			return 0, c.fe.err
+		}
+		return c.lastRT, nil
+	}
 	if c.par {
 		if err := c.serveDeferred(r); err != nil {
 			return 0, err
@@ -285,6 +390,10 @@ func (c *Controller) SetLatencyHook(fn func(sim.Duration)) { c.latHook = fn }
 // Drain flushes every dirty buffered page through the FTL (a clean
 // shutdown). No-op without a buffer.
 func (c *Controller) Drain(at sim.Time) (sim.Time, error) {
+	if c.fe != nil {
+		c.Flush()
+		return at, c.fe.err
+	}
 	if c.par {
 		c.Flush()
 	}
@@ -369,6 +478,9 @@ type Result struct {
 
 // Result snapshots the current measurement window.
 func (c *Controller) Result() Result {
+	if c.fe != nil {
+		return c.fe.result(c)
+	}
 	c.Flush()
 	ds := c.dev.Stats()
 	res := Result{

@@ -1,0 +1,899 @@
+package ssd
+
+import (
+	"fmt"
+	"sync"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/ftl/bast"
+	"dloop/internal/ftl/dftl"
+	"dloop/internal/ftl/dloop"
+	"dloop/internal/ftl/fast"
+	"dloop/internal/ftl/pagemap"
+	"dloop/internal/obs"
+	"dloop/internal/sim"
+	"dloop/internal/stats"
+	"dloop/internal/trace"
+)
+
+// Concurrent FTL shards behind a multi-queue host front end.
+//
+// Config.FTLShards > 1 partitions the logical address space LPN mod N over N
+// independent FTL shards, LFTL-style. Each shard owns a complete vertical
+// slice of the SSD: a private sub-device covering Channels/N channels, its
+// own FTL instance (mapping table, CMT slab, log blocks, free-block pools,
+// write points) and its own garbage-collection engine with a free-pool
+// trigger scoped to the shard's planes. Shards share no mutable state, so
+// every placement and collection decision runs concurrently with the others
+// — this moves the *control plane* off one goroutine, where the
+// Config.Shards timing engine (see sharded.go) only moved the
+// resource-timeline arithmetic.
+//
+// The host side is an NVMe-style multi-queue front end: one submission ring
+// (sim.SPSC) per shard carrying fixed-size page commands, with doorbells
+// batched (PushStaged/Ring) so the producer publishes many commands per tail
+// store. Completions resolve into a future-time slab the host reads back at
+// epoch barriers.
+//
+// Two completion-merge modes:
+//
+//   - MergeDeterministic (default): every request's completion is parked and
+//     folded into the response-time accumulators at the epoch barrier in
+//     arrival order — the same order, and therefore the same floating-point
+//     sequence, as serial execution of the same shard layout. Results are
+//     bit-identical run to run and to in-order execution of the same
+//     configuration, which is what the differential suite pins.
+//   - MergeRelaxed: workers fold single-page requests' latencies into
+//     per-shard accumulators as they complete; Result merges the per-shard
+//     accumulators in shard order. Histograms and counters merge exactly;
+//     Welford means/variances differ from deterministic mode only in
+//     floating-point rounding. Still deterministic run to run.
+//
+// An FTLShards=N device is a different device organization than FTLShards=1
+// (placement depends on per-shard write order, like striping across N
+// sub-drives in RAID 0), so results are comparable across merge modes and
+// worker schedules at fixed N, not across N.
+//
+// Serial execution mode (frontEnd.serial) runs the same shard partitioning
+// inline on the host goroutine in dispatch order. It is the baseline the
+// differential tests compare concurrent execution against, and the mode
+// observability runs use: per-op trace events are inherently ordered, so
+// attaching a recorder forces serial execution for as long as it stays
+// attached, exactly like the timing engine's recorder contract.
+
+// Completion-merge modes for Config.Merge.
+const (
+	MergeDeterministic = "deterministic"
+	MergeRelaxed       = "relaxed"
+)
+
+// autoShardMinChannels is the smallest channel count on which AutoShards
+// engages either sharded engine. Below it the per-request shard overhead
+// (queue hops, barriers) outweighs what little parallelism the shape offers;
+// the 4-channel bench shapes regress, the 8-channel ones win.
+const autoShardMinChannels = 8
+
+// doorbellBatch is how many staged page commands the front end accumulates
+// before ringing the shard doorbells. Barriers ring unconditionally, so
+// batching only defers visibility, never loses it.
+const doorbellBatch = 64
+
+// feQueueCap bounds each shard's submission ring. Epoch flushes keep
+// occupancy far below this; the cap is backpressure against a runaway
+// producer, not a working size.
+const feQueueCap = 1 << 13
+
+// pageCmd is one page operation in a shard's submission ring.
+type pageCmd struct {
+	lpn     int64    // shard-local logical page
+	arrival sim.Time // request arrival (the response-time origin)
+	slot    int32    // completion slot in the front end's slab; -1 = fold on the worker
+	read    bool
+}
+
+// shardAcc is the per-shard response-time accumulator the relaxed merge mode
+// folds into on the worker. Deterministic mode leaves it empty.
+type shardAcc struct {
+	resp, readResp, writeResp stats.Welford
+	hist                      stats.LatencyHist
+	lastDone                  sim.Time
+	served                    int64
+}
+
+func (a *shardAcc) clone() shardAcc {
+	out := *a
+	out.hist = a.hist.Clone()
+	return out
+}
+
+// ftlShard is one control-plane shard: a private sub-device, FTL, and GC
+// engine, plus the plumbing that connects it to the front end.
+type ftlShard struct {
+	idx int
+	dev *flash.Device
+	f   ftl.FTL
+	sq  *sim.SPSC[pageCmd]
+
+	// planeMap / chipMap / chanMap translate shard-local resource indices to
+	// whole-device ones. Packages spread round-robin over channels, so the
+	// shard's planes are not a contiguous range of global planes.
+	planeMap []int32
+	chipMap  []int32
+	chanMap  []int32
+
+	// acc is written by the worker (relaxed merge) and read by the host only
+	// after a quiescence barrier, which orders the accesses.
+	acc shardAcc
+	// err is the first execution error, latched by the worker and surfaced
+	// by the host at the next barrier.
+	err error
+	// preTail chains the preconditioning writes within the shard.
+	preTail sim.Time
+}
+
+// frontEnd is the multi-queue host front end over N FTL shards.
+type frontEnd struct {
+	shards []*ftlShard
+	n      int64
+	geo    flash.Geometry // whole-device geometry
+	cap    ftl.LPN        // total exported pages (sum of shard capacities)
+	subCap ftl.LPN        // exported pages per shard
+
+	relaxed bool
+	// serial executes page operations inline on the host goroutine in
+	// dispatch order instead of routing them through the rings. Forced by an
+	// attached recorder and by Close; the differential tests use it as the
+	// in-order baseline.
+	serial bool
+	// running is true while the worker goroutines are alive.
+	running bool
+	// pendSerial records which execution mode produced the currently parked
+	// completions: serial parks device times, concurrent parks slab slots.
+	pendSerial bool
+	// timingSharded is true when each sub-device runs the Config.Shards
+	// timing engine underneath its shard worker.
+	timingSharded bool
+
+	slab       sim.FutureSlab // completion slots (host allocates, workers resolve)
+	staged     int            // page commands staged since the last doorbell
+	sinceFlush int            // pages dispatched since the last epoch barrier
+	err        error          // sticky first error; surfaced by Serve/Enqueue
+	wg         sync.WaitGroup
+}
+
+// resolveFTLShards maps a Config.FTLShards value to an effective shard
+// count: AutoShards shards per-channel on shapes of at least
+// autoShardMinChannels channels and falls back to the single-FTL engine
+// below that; explicit counts are reduced to the largest divisor of the
+// channel count so every shard owns the same whole number of channels.
+func resolveFTLShards(v, channels int) int {
+	if v == AutoShards {
+		if channels < autoShardMinChannels {
+			return 1
+		}
+		v = channels
+	}
+	if v <= 1 {
+		return 1
+	}
+	if v > channels {
+		v = channels
+	}
+	for channels%v != 0 {
+		v--
+	}
+	return v
+}
+
+// newFrontEnd builds n shards over sub-devices of geo (Channels/n channels
+// each), constructing each shard's FTL with build. Worker goroutines start
+// immediately.
+func newFrontEnd(geo flash.Geometry, timing flash.Timing, n int, cfg Config,
+	build func(dev *flash.Device) (ftl.FTL, error)) (*frontEnd, error) {
+	if cfg.BufferPages > 0 {
+		return nil, fmt.Errorf("ssd: FTLShards is incompatible with BufferPages (the DRAM buffer is a single ordered cache)")
+	}
+	subGeo := geo
+	subGeo.Channels = geo.Channels / n
+	fe := &frontEnd{
+		n:       int64(n),
+		geo:     geo,
+		relaxed: cfg.Merge == MergeRelaxed,
+	}
+	timingShards := resolveShards(cfg.Shards, subGeo.Channels)
+	fe.timingSharded = timingShards > 1
+	for s := 0; s < n; s++ {
+		dev, err := flash.NewDevice(subGeo, timing)
+		if err != nil {
+			return nil, err
+		}
+		f, err := build(dev)
+		if err != nil {
+			return nil, err
+		}
+		sh := &ftlShard{
+			idx: s,
+			dev: dev,
+			f:   f,
+			sq:  sim.NewSPSC[pageCmd](feQueueCap),
+		}
+		sh.buildMaps(geo, subGeo, s)
+		if timingShards > 1 {
+			dev.EnableSharding(timingShards)
+		}
+		fe.shards = append(fe.shards, sh)
+		if fe.subCap == 0 {
+			fe.subCap = f.Capacity()
+		} else if f.Capacity() != fe.subCap {
+			return nil, fmt.Errorf("ssd: shard %d capacity %d != shard 0 capacity %d", s, f.Capacity(), fe.subCap)
+		}
+	}
+	fe.cap = fe.subCap * ftl.LPN(n)
+	fe.start()
+	return fe, nil
+}
+
+// buildMaps computes the shard-local -> global index translations. Shard s
+// owns global channels [s*subC, (s+1)*subC); global packages are laid out
+// round-robin over channels (package g lives on channel g % Channels), so
+// sub-package k of the shard — itself on sub-channel k % subC, round
+// k / subC — is global package (k/subC)*Channels + s*subC + k%subC.
+func (sh *ftlShard) buildMaps(geo, subGeo flash.Geometry, s int) {
+	subC := subGeo.Channels
+	planesPerPkg := geo.ChipsPerPackage * geo.DiesPerChip * geo.PlanesPerDie
+	chipsPerPkg := geo.ChipsPerPackage
+	sh.planeMap = make([]int32, subGeo.Planes())
+	sh.chipMap = make([]int32, subGeo.Chips())
+	sh.chanMap = make([]int32, subC)
+	for ck := 0; ck < subC; ck++ {
+		sh.chanMap[ck] = int32(s*subC + ck)
+	}
+	gpkgOf := func(k int) int { return (k/subC)*geo.Channels + s*subC + k%subC }
+	for sp := 0; sp < subGeo.Planes(); sp++ {
+		sh.planeMap[sp] = int32(gpkgOf(sp/planesPerPkg)*planesPerPkg + sp%planesPerPkg)
+	}
+	for sc := 0; sc < subGeo.Chips(); sc++ {
+		sh.chipMap[sc] = int32(gpkgOf(sc/chipsPerPkg)*chipsPerPkg + sc%chipsPerPkg)
+	}
+}
+
+// channelOfPlane computes the whole-device plane-to-channel map (packages
+// spread round-robin over channels), matching flash.Device.ChannelOfPlane.
+func (fe *frontEnd) channelOfPlane() []int32 {
+	planesPerPkg := fe.geo.ChipsPerPackage * fe.geo.DiesPerChip * fe.geo.PlanesPerDie
+	out := make([]int32, fe.geo.Planes())
+	for p := range out {
+		out[p] = int32((p / planesPerPkg) % fe.geo.Channels)
+	}
+	return out
+}
+
+// start launches one worker goroutine per shard.
+func (fe *frontEnd) start() {
+	fe.running = true
+	fe.serial = false
+	for _, sh := range fe.shards {
+		fe.wg.Add(1)
+		go fe.worker(sh)
+	}
+}
+
+// stop drains and terminates the workers; the front end falls back to serial
+// execution and remains usable.
+func (fe *frontEnd) stop() {
+	if !fe.running {
+		return
+	}
+	for _, sh := range fe.shards {
+		sh.sq.Close()
+	}
+	fe.wg.Wait()
+	fe.running = false
+	fe.serial = true
+}
+
+// worker is one shard's control plane: it drains the submission ring FIFO,
+// so the shard's FTL sees exactly the dispatch-order subsequence of requests
+// the serial baseline would feed it.
+func (fe *frontEnd) worker(sh *ftlShard) {
+	defer fe.wg.Done()
+	for {
+		cmd, ok := sh.sq.PopWait()
+		if !ok {
+			return
+		}
+		fe.exec(sh, cmd)
+		sh.sq.MarkDone()
+	}
+}
+
+// exec runs one page command against the shard's FTL. After an error the
+// shard keeps consuming commands without executing them (resolving their
+// slots so the host never blocks); the host surfaces the latched error at
+// the next barrier.
+func (fe *frontEnd) exec(sh *ftlShard, cmd pageCmd) {
+	if sh.err != nil {
+		if cmd.slot >= 0 {
+			fe.slab.Resolve(int(cmd.slot), cmd.arrival)
+		}
+		return
+	}
+	var end sim.Time
+	var err error
+	if cmd.read {
+		end, err = sh.f.ReadPage(ftl.LPN(cmd.lpn), cmd.arrival)
+	} else {
+		end, err = sh.f.WritePage(ftl.LPN(cmd.lpn), cmd.arrival)
+	}
+	if err != nil {
+		sh.err = err
+		if cmd.slot >= 0 {
+			fe.slab.Resolve(int(cmd.slot), cmd.arrival)
+		}
+		return
+	}
+	// With the timing engine layered under this shard (Config.Shards), end
+	// may be a future handle owned by the sub-device; materialize it here,
+	// on the shard's control goroutine, before publishing.
+	end = sh.dev.ResolveTime(end)
+	if cmd.slot >= 0 {
+		fe.slab.Resolve(int(cmd.slot), end)
+		return
+	}
+	rt := end.Sub(cmd.arrival)
+	ms := rt.Milliseconds()
+	sh.acc.resp.Add(ms)
+	if cmd.read {
+		sh.acc.readResp.Add(ms)
+	} else {
+		sh.acc.writeResp.Add(ms)
+	}
+	sh.acc.hist.Add(rt)
+	if end > sh.acc.lastDone {
+		sh.acc.lastDone = end
+	}
+	sh.acc.served++
+}
+
+// shardOf returns the shard owning a logical page and its shard-local page.
+func (fe *frontEnd) shardOf(lpn ftl.LPN) (*ftlShard, int64) {
+	return fe.shards[int64(lpn)%fe.n], int64(lpn) / fe.n
+}
+
+// enqueue dispatches one request's pages to their shards. With
+// deferred=false (the synchronous Serve path) the request always parks a
+// completion record so the immediately following Flush can return its
+// response time; with deferred=true, relaxed merge folds single-page
+// requests on the workers and parks nothing.
+func (fe *frontEnd) enqueue(c *Controller, r trace.Request, deferred bool) error {
+	if fe.err != nil {
+		return fe.err
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	first, last := c.pageSpan(r)
+	if err := ftl.CheckLPN(last, fe.cap); err != nil {
+		return fmt.Errorf("ssd: request [%d,%d) exceeds device: %w", r.LBN, r.End(), err)
+	}
+	read := r.Op == trace.OpRead
+	npages := int(last - first + 1)
+	if read {
+		c.pagesRead += int64(npages)
+	} else {
+		c.pagesWrit += int64(npages)
+	}
+	fe.sinceFlush += npages
+	if fe.serial {
+		return fe.serveSerial(c, r.Arrival, first, last, read)
+	}
+	// Relaxed merge folds single-page requests entirely on the worker; any
+	// consumer that needs the host-side arrival-order stream (latency hook,
+	// time series, recorder, the synchronous Serve API) disqualifies it.
+	if fe.relaxed && deferred && npages == 1 && c.latHook == nil && c.series == nil && c.rec == nil {
+		sh, lpn := fe.shardOf(first)
+		sh.sq.PushStaged(pageCmd{lpn: lpn, arrival: r.Arrival, slot: -1, read: read})
+		fe.bell(1)
+		return nil
+	}
+	fe.pendSerial = false
+	off := len(c.pendEnds)
+	for lpn := first; lpn <= last; lpn++ {
+		sh, local := fe.shardOf(lpn)
+		slot, future := fe.slab.NewSlot()
+		sh.sq.PushStaged(pageCmd{lpn: local, arrival: r.Arrival, slot: int32(slot), read: read})
+		c.pendEnds = append(c.pendEnds, future)
+	}
+	c.pend = append(c.pend, pendingDone{
+		arrival: r.Arrival,
+		off:     int32(off),
+		n:       int32(npages),
+		read:    read,
+	})
+	fe.bell(npages)
+	return nil
+}
+
+// bell counts staged page commands and rings every shard's doorbell once
+// enough have accumulated. Ring is a no-op on shards with nothing staged.
+func (fe *frontEnd) bell(pages int) {
+	fe.staged += pages
+	if fe.staged < doorbellBatch {
+		return
+	}
+	for _, sh := range fe.shards {
+		sh.sq.Ring()
+	}
+	fe.staged = 0
+}
+
+// serveSerial executes a request's pages inline in dispatch order: the
+// in-order baseline. Completion times (possibly timing-engine futures) park
+// exactly like the concurrent path's, so Flush folds both identically.
+func (fe *frontEnd) serveSerial(c *Controller, arrival sim.Time, first, last ftl.LPN, read bool) error {
+	fe.pendSerial = true
+	off := len(c.pendEnds)
+	for lpn := first; lpn <= last; lpn++ {
+		sh, local := fe.shardOf(lpn)
+		var end sim.Time
+		var err error
+		if read {
+			end, err = sh.f.ReadPage(ftl.LPN(local), arrival)
+		} else {
+			end, err = sh.f.WritePage(ftl.LPN(local), arrival)
+		}
+		if err != nil {
+			c.pendEnds = c.pendEnds[:off]
+			c.pendShards = c.pendShards[:off]
+			fe.err = err
+			return err
+		}
+		c.pendEnds = append(c.pendEnds, end)
+		c.pendShards = append(c.pendShards, int8(sh.idx))
+	}
+	c.pend = append(c.pend, pendingDone{
+		arrival: arrival,
+		off:     int32(off),
+		n:       int32(last - first + 1),
+		read:    read,
+	})
+	return nil
+}
+
+// barrier waits until every dispatched page command has fully executed. On
+// return the host may touch shard state freely: the quiescence count is the
+// synchronization edge, and the next ring publish hands the state back to
+// the worker.
+func (fe *frontEnd) barrier() {
+	if !fe.serial && fe.running {
+		fe.staged = 0
+		for _, sh := range fe.shards {
+			sh.sq.AwaitQuiesced() // rings the doorbell itself
+		}
+		for _, sh := range fe.shards {
+			if sh.err != nil && fe.err == nil {
+				fe.err = sh.err
+			}
+		}
+	}
+	for _, sh := range fe.shards {
+		sh.dev.SyncTiming()
+	}
+}
+
+// flush is the epoch barrier: quiesce the shards, fold every parked request
+// into the response-time accumulators in arrival order, and recycle the
+// completion slab(s).
+func (fe *frontEnd) flush(c *Controller) {
+	fe.barrier()
+	if fe.err != nil {
+		c.pend = c.pend[:0]
+		c.pendEnds = c.pendEnds[:0]
+		c.pendShards = c.pendShards[:0]
+		fe.resetEpoch()
+		return
+	}
+	for _, p := range c.pend {
+		done := p.arrival
+		for i := int32(0); i < p.n; i++ {
+			idx := p.off + i
+			t := c.pendEnds[idx]
+			if sim.IsFutureTime(t) {
+				if fe.pendSerial {
+					t = fe.shards[c.pendShards[idx]].dev.ResolveTime(t)
+				} else {
+					t = fe.slab.Wait(sim.FutureSlot(t))
+				}
+			}
+			if t > done {
+				done = t
+			}
+		}
+		rt := done.Sub(p.arrival)
+		ms := rt.Milliseconds()
+		c.resp.Add(ms)
+		if p.read {
+			c.readResp.Add(ms)
+		} else {
+			c.writeResp.Add(ms)
+		}
+		c.hist.Add(rt)
+		if c.series != nil {
+			c.series.Add(p.arrival, ms)
+		}
+		if done > c.lastDone {
+			c.lastDone = done
+		}
+		c.served++
+		c.lastRT = rt
+		if c.rec != nil {
+			c.rec.RecordRequest(p.read, p.arrival, done)
+		}
+		if c.latHook != nil {
+			c.latHook(rt)
+		}
+	}
+	c.pend = c.pend[:0]
+	c.pendEnds = c.pendEnds[:0]
+	c.pendShards = c.pendShards[:0]
+	fe.resetEpoch()
+}
+
+// resetEpoch recycles the front end's completion slab and every shard's
+// timing-engine slab. Callers hold no live handles (flush resolved or
+// dropped them all).
+func (fe *frontEnd) resetEpoch() {
+	fe.slab.Reset()
+	fe.sinceFlush = 0
+	for _, sh := range fe.shards {
+		sh.dev.ResetTimingEpoch()
+	}
+}
+
+// precondition sequentially writes the first pages logical pages, chaining
+// times within each shard (shards fill concurrently in simulated time,
+// exactly as independent sub-drives would) and bounding the timing slabs
+// with epoch barriers. Runs inline on the host goroutine; preconditioning is
+// setup, not the measured hot path.
+func (fe *frontEnd) precondition(c *Controller, pages ftl.LPN) error {
+	if pages > fe.cap {
+		return fmt.Errorf("ssd: precondition %d pages exceeds capacity %d", pages, fe.cap)
+	}
+	fe.flush(c) // nothing in flight while the host touches shard FTLs
+	if fe.err != nil {
+		return fe.err
+	}
+	for _, sh := range fe.shards {
+		sh.preTail = 0
+	}
+	for lpn := ftl.LPN(0); lpn < pages; lpn++ {
+		sh, local := fe.shardOf(lpn)
+		end, err := sh.f.WritePage(ftl.LPN(local), sh.preTail)
+		if err != nil {
+			return fmt.Errorf("ssd: precondition lpn %d: %w", lpn, err)
+		}
+		sh.preTail = end
+		if fe.timingSharded && lpn&(preconditionEpoch-1) == preconditionEpoch-1 {
+			for _, s := range fe.shards {
+				s.preTail = s.dev.ResolveTime(s.preTail)
+				s.dev.SyncTiming()
+				s.dev.ResetTimingEpoch()
+			}
+		}
+	}
+	for _, s := range fe.shards {
+		s.preTail = s.dev.ResolveTime(s.preTail)
+		s.dev.SyncTiming()
+		s.dev.ResetTimingEpoch()
+	}
+	c.ResetMeasurement()
+	return nil
+}
+
+// result aggregates the measurement window across shards. Counters and
+// histograms merge exactly; per-plane and per-block series scatter through
+// the shard maps into whole-device indexing, so SDRPP and wear metrics read
+// identically to an unsharded device's.
+func (fe *frontEnd) result(c *Controller) Result {
+	c.Flush()
+	resp, readResp, writeResp := c.resp, c.readResp, c.writeResp
+	hist := c.hist.Clone()
+	lastDone, served := c.lastDone, c.served
+	for _, sh := range fe.shards {
+		resp.Merge(sh.acc.resp)
+		readResp.Merge(sh.acc.readResp)
+		writeResp.Merge(sh.acc.writeResp)
+		hist.Merge(sh.acc.hist)
+		if sh.acc.lastDone > lastDone {
+			lastDone = sh.acc.lastDone
+		}
+		served += sh.acc.served
+	}
+	res := Result{
+		FTL:         fe.shards[0].f.Name(),
+		Requests:    served,
+		PagesRead:   c.pagesRead,
+		PagesWrit:   c.pagesWrit,
+		SimulatedS:  sim.Duration(lastDone).Seconds(),
+		MeanRespMs:  resp.Mean(),
+		StdRespMs:   resp.StdDev(),
+		MaxRespMs:   resp.Max(),
+		ReadMeanMs:  readResp.Mean(),
+		WriteMeanMs: writeResp.Mean(),
+		P50Ms:       hist.Quantile(0.5).Milliseconds(),
+		P99Ms:       hist.Quantile(0.99).Milliseconds(),
+		PlaneOps:    make([]int64, fe.geo.Planes()),
+	}
+	if p, ok := fe.shards[0].f.(interface{ GCPolicyName() string }); ok {
+		res.GCPolicy = p.GCPolicyName()
+	}
+	erases := make([]int64, fe.geo.TotalBlocks())
+	bpp := fe.geo.BlocksPerPlane
+	var cmtHits, cmtMisses int64
+	for _, sh := range fe.shards {
+		ds := sh.dev.Stats()
+		for sp, v := range ds.PlaneTotals() {
+			res.PlaneOps[sh.planeMap[sp]] = v
+		}
+		for bi, e := range ds.BlockErases {
+			gp := int64(sh.planeMap[bi/bpp])
+			erases[gp*int64(bpp)+int64(bi%bpp)] = int64(e)
+			res.TotalErases += int64(e)
+		}
+		res.Reads += ds.Reads()
+		res.Writes += ds.Writes()
+		res.CopyBacks += ds.CopyBacks()
+		res.Erases += ds.Erases()
+		res.WastedPages += ds.WastedPages
+		cb, ext := ds.GCMoves()
+		res.GCCopyBacks += cb
+		res.GCExternalMoves += ext
+		addFTLStats(sh.f, &res, &cmtHits, &cmtMisses)
+	}
+	res.SDRPP = stats.SDRPP(res.PlaneOps)
+	res.WearCV = stats.CV(erases)
+	if cmtHits+cmtMisses > 0 {
+		res.CMTHitRate = float64(cmtHits) / float64(cmtHits+cmtMisses)
+	}
+	return res
+}
+
+// addFTLStats folds one shard FTL's scheme-specific counters into the
+// result. CMT hits and misses accumulate separately so the merged hit rate
+// is the whole-device ratio, not a mean of per-shard ratios.
+func addFTLStats(f ftl.FTL, res *Result, cmtHits, cmtMisses *int64) {
+	if cr, ok := f.(interface {
+		CMTHitRate() (float64, int64, int64)
+	}); ok {
+		_, h, m := cr.CMTHitRate()
+		*cmtHits += h
+		*cmtMisses += m
+	}
+	switch f := f.(type) {
+	case *dloop.DLOOP:
+		s := f.Stats()
+		res.GCRuns += s.GCRuns
+		res.TransReads += s.MapperStats.TransReads
+		res.TransWrites += s.MapperStats.TransWrites
+	case *dftl.DFTL:
+		s := f.Stats()
+		res.GCRuns += s.GCRuns
+		res.TransReads += s.MapperStats.TransReads
+		res.TransWrites += s.MapperStats.TransWrites
+	case *fast.FAST:
+		s := f.Stats()
+		res.SwitchMerges += s.SwitchMerges
+		res.PartialMerges += s.PartialMerges
+		res.FullMerges += s.FullMerges
+		res.MergeCopies += s.MergeCopies
+	case *bast.BAST:
+		s := f.Stats()
+		res.SwitchMerges += s.SwitchMerges
+		res.FullMerges += s.FullMerges
+		res.MergeCopies += s.MergeCopies
+	case *pagemap.PureMap:
+		s := f.Stats()
+		res.GCRuns += s.GCRuns
+	}
+}
+
+// busyTimes aggregates per-shard cumulative busy times into whole-device
+// vectors; the observability collector samples it at Close.
+func (fe *frontEnd) busyTimes() (planes, chipBus, channels []sim.Duration) {
+	planes = make([]sim.Duration, fe.geo.Planes())
+	chipBus = make([]sim.Duration, fe.geo.Chips())
+	channels = make([]sim.Duration, fe.geo.Channels)
+	for _, sh := range fe.shards {
+		p, cb, ch := sh.dev.BusyTimes()
+		for i, v := range p {
+			planes[sh.planeMap[i]] = v
+		}
+		for i, v := range cb {
+			chipBus[sh.chipMap[i]] = v
+		}
+		for i, v := range ch {
+			channels[sh.chanMap[i]] = v
+		}
+	}
+	return planes, chipBus, channels
+}
+
+// gcVictimRecorder is the GC engine's optional victim-histogram extension of
+// obs.Recorder (see gc.Config); the shard wrapper must forward it or a
+// wrapped collector would silently lose the victim-validity distribution.
+type gcVictimRecorder interface {
+	RecordGCVictim(valid int, at sim.Time)
+}
+
+// shardRecorder translates a shard's local plane/channel indices into
+// whole-device ones before forwarding to the real recorder, so N shards
+// produce one coherent device-wide stream.
+type shardRecorder struct {
+	inner    obs.Recorder
+	victim   gcVictimRecorder // non-nil when inner reports GC victims
+	planeMap []int32
+	chanMap  []int32
+}
+
+func newShardRecorder(inner obs.Recorder, sh *ftlShard) *shardRecorder {
+	r := &shardRecorder{inner: inner, planeMap: sh.planeMap, chanMap: sh.chanMap}
+	if vr, ok := inner.(gcVictimRecorder); ok {
+		r.victim = vr
+	}
+	return r
+}
+
+func (r *shardRecorder) RecordOp(op obs.Op) {
+	op.Plane = r.planeMap[op.Plane]
+	op.Channel = r.chanMap[op.Channel]
+	r.inner.RecordOp(op)
+}
+
+func (r *shardRecorder) RecordEvent(kind obs.EventKind, at sim.Time) {
+	r.inner.RecordEvent(kind, at)
+}
+
+func (r *shardRecorder) RecordSpan(kind obs.SpanKind, plane int32, start, end sim.Time) {
+	r.inner.RecordSpan(kind, r.planeMap[plane], start, end)
+}
+
+func (r *shardRecorder) RecordRequest(read bool, arrival, done sim.Time) {
+	r.inner.RecordRequest(read, arrival, done)
+}
+
+func (r *shardRecorder) RecordGCVictim(valid int, at sim.Time) {
+	if r.victim != nil {
+		r.victim.RecordGCVictim(valid, at)
+	}
+}
+
+// setRecorder attaches (or detaches) observability across every shard.
+// Attaching forces serial execution — per-op trace events are inherently
+// ordered — and drops the shards' timing engines for the recorder's
+// lifetime, mirroring the single-FTL contract.
+func (fe *frontEnd) setRecorder(c *Controller, r obs.Recorder) {
+	fe.flush(c)
+	c.rec = r
+	if r != nil {
+		fe.serial = true
+		for _, sh := range fe.shards {
+			sh.dev.DisableSharding()
+			wrapped := newShardRecorder(r, sh)
+			sh.dev.SetRecorder(wrapped)
+			if o, ok := sh.f.(ftl.Observable); ok {
+				o.SetRecorder(wrapped)
+			}
+		}
+		if col, ok := r.(*obs.Collector); ok && col != nil {
+			col.SetUtilizationSource(fe.busyTimes)
+		}
+		return
+	}
+	timingShards := resolveShards(c.cfg.Shards, fe.geo.Channels/int(fe.n))
+	for _, sh := range fe.shards {
+		sh.dev.SetRecorder(nil)
+		if o, ok := sh.f.(ftl.Observable); ok {
+			o.SetRecorder(nil)
+		}
+		if timingShards > 1 {
+			sh.dev.EnableSharding(timingShards)
+		}
+	}
+	if fe.running {
+		fe.serial = false
+	}
+}
+
+// resetMeasurement zeroes shard-side statistics (the host-side accumulators
+// are the controller's).
+func (fe *frontEnd) resetMeasurement() {
+	for _, sh := range fe.shards {
+		sh.dev.ResetStats()
+		sh.acc = shardAcc{}
+	}
+}
+
+// feCheckpoint is the per-shard portion of a front-end controller's
+// Checkpoint: one device state, FTL state, and relaxed-merge accumulator per
+// shard.
+type feCheckpoint struct {
+	devs []*flash.DeviceState
+	ftls []any
+	accs []shardAcc
+}
+
+// snapshot deep-copies every shard's state after a barrier.
+func (fe *frontEnd) snapshot(c *Controller) (*feCheckpoint, error) {
+	fe.flush(c)
+	cp := &feCheckpoint{}
+	for _, sh := range fe.shards {
+		snapper, ok := sh.f.(ftl.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("ssd: FTL %s does not support checkpointing", sh.f.Name())
+		}
+		cp.devs = append(cp.devs, sh.dev.Snapshot())
+		cp.ftls = append(cp.ftls, snapper.Snapshot())
+		cp.accs = append(cp.accs, sh.acc.clone())
+	}
+	return cp, nil
+}
+
+// restore rewinds every shard to a checkpoint taken from an identically
+// configured front end.
+func (fe *frontEnd) restore(c *Controller, cp *feCheckpoint) error {
+	if cp == nil || len(cp.devs) != len(fe.shards) {
+		return fmt.Errorf("ssd: checkpoint does not match this controller's %d FTL shards", len(fe.shards))
+	}
+	c.discardPending() // in-flight work belongs to the run being abandoned
+	for i, sh := range fe.shards {
+		snapper, ok := sh.f.(ftl.Snapshotter)
+		if !ok {
+			return fmt.Errorf("ssd: FTL %s does not support checkpointing", sh.f.Name())
+		}
+		if err := snapper.Restore(cp.ftls[i]); err != nil {
+			return err
+		}
+		sh.dev.Restore(cp.devs[i])
+		sh.acc = cp.accs[i].clone()
+	}
+	return nil
+}
+
+// recoverShards rebuilds every shard's FTL from its sub-device's out-of-band
+// page tags (simulated power loss) and returns a fresh front end over the
+// same sub-devices. The old front end's workers stop first; its controller
+// stays usable for read-only lookups.
+func (fe *frontEnd) recoverShards(cfg Config, extra int) (*frontEnd, error) {
+	fe.stop()
+	nfe := &frontEnd{
+		n:       fe.n,
+		geo:     fe.geo,
+		cap:     fe.cap,
+		subCap:  fe.subCap,
+		relaxed: cfg.Merge == MergeRelaxed,
+	}
+	timingShards := resolveShards(cfg.Shards, fe.geo.Channels/int(fe.n))
+	nfe.timingSharded = timingShards > 1
+	for _, sh := range fe.shards {
+		f, err := recoverFTL(sh.dev, cfg, extra)
+		if err != nil {
+			return nil, err
+		}
+		sh.dev.SetRecorder(nil)
+		if timingShards > 1 && sh.dev.ShardCount() == 1 {
+			sh.dev.EnableSharding(timingShards)
+		}
+		nfe.shards = append(nfe.shards, &ftlShard{
+			idx:      sh.idx,
+			dev:      sh.dev,
+			f:        f,
+			sq:       sim.NewSPSC[pageCmd](feQueueCap),
+			planeMap: sh.planeMap,
+			chipMap:  sh.chipMap,
+			chanMap:  sh.chanMap,
+		})
+	}
+	nfe.start()
+	return nfe, nil
+}

@@ -1,0 +1,438 @@
+package ssd
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/ftl/bast"
+	"dloop/internal/ftl/dftl"
+	"dloop/internal/ftl/dloop"
+	"dloop/internal/ftl/fast"
+	"dloop/internal/ftl/pagemap"
+	"dloop/internal/obs"
+	"dloop/internal/sim"
+	"dloop/internal/trace"
+)
+
+// tiny8Geometry is the multi-queue suite's wider shape: 8 channels so the
+// front end can run 2, 4, or 8 FTL shards with a whole number of channels
+// each. 16 planes, 24 blocks/plane, 8 pages/block, 2 KB pages.
+func tiny8Geometry() flash.Geometry {
+	return flash.Geometry{
+		Channels:           8,
+		PackagesPerChannel: 1,
+		ChipsPerPackage:    1,
+		DiesPerChip:        1,
+		PlanesPerDie:       2,
+		BlocksPerPlane:     24,
+		PagesPerBlock:      8,
+		PageSize:           2048,
+	}
+}
+
+func mqConfig(scheme string, geo flash.Geometry, ftlShards int, merge string) Config {
+	g := geo
+	return Config{
+		FTL:        scheme,
+		Geometry:   &g,
+		ExtraPct:   0.25,
+		CMTEntries: 64,
+		FTLShards:  ftlShards,
+		Merge:      merge,
+	}
+}
+
+func buildMQ(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// lookupMQ resolves one logical page through whichever FTL shard owns it.
+// The returned PPN is shard-local; comparisons are meaningful between
+// controllers with the same shard count (or against InvalidPPN).
+func lookupMQ(t *testing.T, c *Controller, lpn ftl.LPN) flash.PPN {
+	t.Helper()
+	s, local := c.ShardOfLPN(lpn)
+	switch f := c.ShardFTL(s).(type) {
+	case *dloop.DLOOP:
+		return f.Lookup(local)
+	case *dftl.DFTL:
+		return f.Lookup(local)
+	case *fast.FAST:
+		return f.Lookup(local)
+	case *bast.BAST:
+		return f.Lookup(local)
+	case *pagemap.PureMap:
+		return f.Lookup(local)
+	}
+	t.Fatal("unknown FTL type")
+	return flash.InvalidPPN
+}
+
+func closeEnough(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// stripWelfordFloats zeroes the fields relaxed merge folds in a different
+// floating-point order (running means/variances). Everything else — counts,
+// histograms, maxima, device counters — must merge exactly in both modes.
+func stripWelfordFloats(r Result) Result {
+	r.MeanRespMs, r.StdRespMs, r.ReadMeanMs, r.WriteMeanMs = 0, 0, 0, 0
+	return r
+}
+
+// TestMQDifferential is the randomized differential suite for the multi-queue
+// front end: for every scheme, shard counts 2/4/8 across two channel shapes,
+// both merge modes, and (on the widest shape) the timing engine layered
+// underneath, a concurrently executing front end replays the same trace as a
+// serially executing one with the identical shard layout. Deterministic merge
+// must reproduce the serial baseline bit for bit — Results, per-request
+// latency streams, mapping tables, and per-shard device states; relaxed merge
+// must match everything except the Welford running floats, which it may
+// re-associate but not change materially.
+func TestMQDifferential(t *testing.T) {
+	shapes := []struct {
+		name   string
+		geo    flash.Geometry
+		shards int
+		timing int // Config.Shards layered under each shard
+	}{
+		{"2ch-2shard", tinyGeometry(), 2, 0},
+		{"8ch-4shard", tiny8Geometry(), 4, 0},
+		{"8ch-8shard", tiny8Geometry(), 8, 0},
+		{"8ch-4shard-timing", tiny8Geometry(), 4, 2},
+	}
+	for _, scheme := range allSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			for _, sp := range shapes {
+				for _, merge := range []string{MergeDeterministic, MergeRelaxed} {
+					t.Run(sp.name+"/"+merge, func(t *testing.T) {
+						cfg := mqConfig(scheme, sp.geo, sp.shards, merge)
+						cfg.Shards = sp.timing
+						ser := buildMQ(t, cfg)
+						ser.fe.flush(ser)
+						ser.fe.serial = true // in-order baseline, same shard layout
+						par := buildMQ(t, cfg)
+						if got := par.FTLShards(); got != sp.shards {
+							t.Fatalf("FTLShards = %d, want %d", got, sp.shards)
+						}
+						det := merge == MergeDeterministic
+						var serLat, parLat []sim.Duration
+						if det {
+							ser.SetLatencyHook(func(d sim.Duration) { serLat = append(serLat, d) })
+							par.SetLatencyHook(func(d sim.Duration) { parLat = append(parLat, d) })
+						}
+						preconditionTiny(t, ser)
+						preconditionTiny(t, par)
+						w := tinyWorkload(t, ser, 1600, 37)
+						want, err := ser.Run(trace.NewSliceReader(w))
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := par.Run(trace.NewSliceReader(w))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if det {
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("Results differ\nserial:     %+v\nconcurrent: %+v", want, got)
+							}
+							if !reflect.DeepEqual(serLat, parLat) {
+								t.Fatalf("latency streams differ: %d vs %d samples", len(serLat), len(parLat))
+							}
+						} else {
+							if !reflect.DeepEqual(stripWelfordFloats(got), stripWelfordFloats(want)) {
+								t.Fatalf("non-float Results differ\nserial:     %+v\nconcurrent: %+v", want, got)
+							}
+							for _, f := range [][2]float64{
+								{got.MeanRespMs, want.MeanRespMs},
+								{got.StdRespMs, want.StdRespMs},
+								{got.ReadMeanMs, want.ReadMeanMs},
+								{got.WriteMeanMs, want.WriteMeanMs},
+							} {
+								if !closeEnough(f[0], f[1]) {
+									t.Fatalf("relaxed merge float drifted: %v vs %v\nserial:     %+v\nconcurrent: %+v",
+										f[0], f[1], want, got)
+								}
+							}
+						}
+						for lpn := ftl.LPN(0); lpn < ser.Capacity(); lpn++ {
+							if a, b := lookupMQ(t, ser, lpn), lookupMQ(t, par, lpn); a != b {
+								t.Fatalf("lpn %d maps to %d (serial) vs %d (concurrent)", lpn, a, b)
+							}
+						}
+						for i := 0; i < sp.shards; i++ {
+							if !reflect.DeepEqual(ser.ShardDevice(i).Snapshot(), par.ShardDevice(i).Snapshot()) {
+								t.Fatalf("shard %d device state diverged", i)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestMQDeterministicRepeat pins run-to-run determinism of the concurrent
+// front end itself: two fresh controllers with the same configuration and
+// workload produce bit-identical Results in both merge modes, regardless of
+// how the scheduler interleaved the shard workers.
+func TestMQDeterministicRepeat(t *testing.T) {
+	for _, merge := range []string{MergeDeterministic, MergeRelaxed} {
+		t.Run(merge, func(t *testing.T) {
+			run := func() Result {
+				c := buildMQ(t, mqConfig(SchemeDLOOP, tiny8Geometry(), 8, merge))
+				preconditionTiny(t, c)
+				res, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 2000, 7)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("repeat run diverged\nfirst:  %+v\nsecond: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestMQLogicalEquivalence checks that sharding is invisible at the logical
+// contract: after the same trace, controllers with 1, 2, 4, and 8 FTL shards
+// expose exactly the same set of mapped logical pages (placement differs —
+// each count is its own device organization — but what is stored must not).
+func TestMQLogicalEquivalence(t *testing.T) {
+	for _, scheme := range allSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			var mapped []map[ftl.LPN]bool
+			var caps []ftl.LPN
+			for _, shards := range []int{1, 2, 4, 8} {
+				c := buildMQ(t, mqConfig(scheme, tiny8Geometry(), shards, ""))
+				preconditionTiny(t, c)
+				if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 2000, 11))); err != nil {
+					t.Fatal(err)
+				}
+				m := make(map[ftl.LPN]bool)
+				for lpn := ftl.LPN(0); lpn < c.Capacity(); lpn++ {
+					if lookupMQ(t, c, lpn) != flash.InvalidPPN {
+						m[lpn] = true
+					}
+				}
+				mapped = append(mapped, m)
+				caps = append(caps, c.Capacity())
+			}
+			for i := 1; i < len(mapped); i++ {
+				if caps[i] != caps[0] {
+					t.Fatalf("capacity %d with %d shards, %d with 1", caps[i], 1<<i, caps[0])
+				}
+				if !reflect.DeepEqual(mapped[i], mapped[0]) {
+					t.Fatalf("mapped LPN set with %d shards differs from single FTL (%d vs %d pages)",
+						1<<i, len(mapped[i]), len(mapped[0]))
+				}
+			}
+		})
+	}
+}
+
+// TestMQServePath covers the synchronous Serve API: every call barriers on
+// its own completion, so the returned response times must match the serial
+// baseline's call for call, and the final Results bit for bit.
+func TestMQServePath(t *testing.T) {
+	cfg := mqConfig(SchemeDLOOP, tinyGeometry(), 2, MergeDeterministic)
+	ser := buildMQ(t, cfg)
+	ser.fe.serial = true
+	par := buildMQ(t, cfg)
+	preconditionTiny(t, ser)
+	preconditionTiny(t, par)
+	for i, r := range tinyWorkload(t, ser, 600, 5) {
+		a, err := ser.Serve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Serve(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("request %d: rt %v (serial) vs %v (concurrent)", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(ser.Result(), par.Result()) {
+		t.Fatal("results diverged on the Serve path")
+	}
+}
+
+// TestMQCrashRecovery simulates power loss on a sharded controller: Recover
+// rebuilds every shard's SRAM state from its own sub-device's out-of-band
+// tags. The shard partitioning is part of the persistent layout (LPN mod N
+// decides which sub-device holds a page), so the recovered controller must
+// keep the same shard count and resolve every logical page to the same
+// physical location the crashed one did.
+func TestMQCrashRecovery(t *testing.T) {
+	for _, scheme := range allSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			c := buildMQ(t, mqConfig(scheme, tinyGeometry(), 2, ""))
+			preconditionTiny(t, c)
+			res, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 2000, 5)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Erases == 0 {
+				t.Fatal("workload never triggered GC; the crash state is trivial")
+			}
+			r, err := c.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(r.Close)
+			if got := r.FTLShards(); got != 2 {
+				t.Fatalf("recovered with %d FTL shards, want 2", got)
+			}
+			// Exactly one valid copy of each written lpn exists on its shard's
+			// flash, so even the hybrids' reconstructed block roles must
+			// resolve every lookup to the same physical page.
+			for lpn := ftl.LPN(0); lpn < c.Capacity(); lpn++ {
+				if got, want := lookupMQ(t, r, lpn), lookupMQ(t, c, lpn); got != want {
+					t.Fatalf("lpn %d recovered %d want %d", lpn, got, want)
+				}
+			}
+			if _, err := r.Run(trace.NewSliceReader(tinyWorkload(t, r, 1000, 6))); err != nil {
+				t.Fatalf("post-recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestMQSnapshotFork checks the warm-up checkpoint contract on the front end:
+// a checkpoint taken mid-run forks any number of bit-identical continuations,
+// and the checkpoint itself survives restores untouched.
+func TestMQSnapshotFork(t *testing.T) {
+	c := buildMQ(t, mqConfig(SchemeDLOOP, tiny8Geometry(), 4, MergeDeterministic))
+	preconditionTiny(t, c)
+	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 1200, 21))); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tinyWorkload(t, c, 800, 22)
+	first, err := c.Run(trace.NewSliceReader(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fork := 0; fork < 2; fork++ {
+		if err := c.Restore(cp); err != nil {
+			t.Fatal(err)
+		}
+		again, err := c.Run(trace.NewSliceReader(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, first) {
+			t.Fatalf("fork %d diverged\nfirst: %+v\nfork:  %+v", fork, first, again)
+		}
+	}
+}
+
+// TestMQRecorderForcesSerial checks the observability contract on the front
+// end: attaching a recorder flips execution to the in-order serial mode (and
+// detaching restores concurrency), while per-op events flow through the
+// shard-index remapping into one coherent whole-device stream.
+func TestMQRecorderForcesSerial(t *testing.T) {
+	c := buildMQ(t, mqConfig(SchemeDLOOP, tinyGeometry(), 2, ""))
+	preconditionTiny(t, c)
+	if c.fe.serial {
+		t.Fatal("front end serial before any recorder attached")
+	}
+	col := obs.NewCollector(c.ObsOptions())
+	c.SetRecorder(col)
+	if !c.fe.serial {
+		t.Fatal("recorder attached but front end still concurrent")
+	}
+	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 300, 3))); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRecorder(nil)
+	if c.fe.serial {
+		t.Fatal("front end still serial after detaching recorder")
+	}
+	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 300, 4))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMQSteadyStateAllocFree asserts the multi-queue serving path is
+// allocation-free per request at steady state in both merge modes: staged
+// ring pushes, slab slots, and accumulator folds all reuse their arenas. The
+// batch is read-only to keep GC (which allocates on its own) out of the
+// measured window.
+func TestMQSteadyStateAllocFree(t *testing.T) {
+	for _, merge := range []string{MergeDeterministic, MergeRelaxed} {
+		t.Run(merge, func(t *testing.T) {
+			c := buildMQ(t, mqConfig(SchemeDLOOP, tinyGeometry(), 2, merge))
+			preconditionTiny(t, c)
+			reqs := tinyWorkload(t, c, 2000, 29)
+			for i := range reqs {
+				reqs[i].Op = trace.OpRead
+			}
+			i := 0
+			serveBatch := func() {
+				for n := 0; n < 100; n++ {
+					if err := c.Enqueue(reqs[i%len(reqs)]); err != nil {
+						t.Fatal(err)
+					}
+					i++
+				}
+				c.Flush()
+			}
+			serveBatch() // reach steady state: rings, slab chunks, pending slices
+			serveBatch()
+			if avg := testing.AllocsPerRun(10, serveBatch); avg > 0 {
+				t.Fatalf("multi-queue serve path allocates %.1f times per 100-request epoch, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestMQBuildRejections pins the configurations Build must refuse: the DRAM
+// buffer is a single ordered cache (incompatible with independent shards),
+// and merge modes are a closed set.
+func TestMQBuildRejections(t *testing.T) {
+	cfg := mqConfig(SchemeDLOOP, tinyGeometry(), 2, "")
+	cfg.BufferPages = 16
+	if _, err := Build(cfg); err == nil {
+		t.Error("Build accepted FTLShards > 1 with BufferPages > 0")
+	}
+	cfg = mqConfig(SchemeDLOOP, tinyGeometry(), 0, "bogus")
+	if _, err := Build(cfg); err == nil {
+		t.Error("Build accepted unknown merge mode")
+	}
+}
+
+// TestResolveFTLShards pins the shard-count resolution: AutoShards engages
+// per-channel sharding only at 8+ channels, and explicit counts reduce to the
+// largest divisor of the channel count so every shard owns the same whole
+// number of channels.
+func TestResolveFTLShards(t *testing.T) {
+	for _, tc := range []struct {
+		v, channels, want int
+	}{
+		{0, 8, 1}, {1, 8, 1}, {2, 2, 2}, {2, 8, 2}, {8, 8, 8}, {16, 8, 8},
+		{3, 8, 2}, {5, 8, 4}, {6, 8, 4}, {3, 6, 3},
+		{AutoShards, 2, 1}, {AutoShards, 4, 1}, {AutoShards, 8, 8}, {AutoShards, 16, 16},
+	} {
+		if got := resolveFTLShards(tc.v, tc.channels); got != tc.want {
+			t.Errorf("resolveFTLShards(%d, %d) = %d, want %d", tc.v, tc.channels, got, tc.want)
+		}
+	}
+}

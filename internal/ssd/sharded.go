@@ -38,8 +38,15 @@ type pendingDone struct {
 }
 
 // resolveShards maps a Config.Shards value to an effective shard count.
+// AutoShards engages only on shapes of at least autoShardMinChannels
+// channels — below that the worker hand-off costs more than the
+// parallelism recovers (the 4-channel bench shapes regressed), so auto
+// keeps the sequential engine there.
 func resolveShards(v, channels int) int {
 	if v == AutoShards {
+		if channels < autoShardMinChannels {
+			return 1
+		}
 		return channels
 	}
 	if v <= 1 {
@@ -64,13 +71,27 @@ func (c *Controller) applySharding() {
 	c.par = c.dev.ShardCount() > 1
 }
 
-// Shards returns the number of timing shards in effect (1 = sequential).
-func (c *Controller) Shards() int { return c.dev.ShardCount() }
+// Shards returns the number of timing shards in effect (1 = sequential). On
+// a front-end controller it reports one sub-device's count (all match).
+func (c *Controller) Shards() int {
+	if c.fe != nil {
+		return c.fe.shards[0].dev.ShardCount()
+	}
+	return c.dev.ShardCount()
+}
 
 // Close stops the sharded engine's worker goroutines after a final barrier.
 // Harmless on a sequential controller; the controller remains usable (it
 // falls back to the sequential engine).
 func (c *Controller) Close() {
+	if c.fe != nil {
+		c.fe.flush(c)
+		c.fe.stop()
+		for _, sh := range c.fe.shards {
+			sh.dev.DisableSharding()
+		}
+		return
+	}
 	if c.par {
 		c.Flush()
 	}
@@ -87,6 +108,18 @@ func (c *Controller) Close() {
 // reader — so callers may Enqueue indefinitely. On a sequential controller
 // it is Serve with the response time discarded.
 func (c *Controller) Enqueue(r trace.Request) error {
+	if c.fe != nil {
+		if err := c.fe.enqueue(c, r, true); err != nil {
+			return err
+		}
+		// Relaxed merge's fast path parks nothing in c.pend, so bound the
+		// timing-engine slabs by page count when they are in play.
+		if len(c.pend) >= flushEvery ||
+			(c.fe.timingSharded && c.fe.sinceFlush >= preconditionEpoch) {
+			c.Flush()
+		}
+		return nil
+	}
 	if !c.par {
 		_, err := c.Serve(r)
 		return err
@@ -150,6 +183,10 @@ func (c *Controller) serveDeferred(r trace.Request) error {
 // floating-point sequence, as the sequential engine. Afterwards the future
 // slab is recycled. No-op on a sequential controller.
 func (c *Controller) Flush() {
+	if c.fe != nil {
+		c.fe.flush(c)
+		return
+	}
 	if !c.par {
 		return
 	}
@@ -192,6 +229,14 @@ func (c *Controller) Flush() {
 // the accumulators are about to be reset or overwritten anyway) and recycles
 // the slab.
 func (c *Controller) discardPending() {
+	if c.fe != nil {
+		c.fe.barrier()
+		c.pend = c.pend[:0]
+		c.pendEnds = c.pendEnds[:0]
+		c.pendShards = c.pendShards[:0]
+		c.fe.resetEpoch()
+		return
+	}
 	if !c.par {
 		return
 	}

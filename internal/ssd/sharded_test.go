@@ -13,14 +13,15 @@ import (
 var allSchemes = []string{SchemeDLOOP, SchemeDFTL, SchemeFAST, SchemeBAST,
 	SchemePureMap, SchemePureMapStriped}
 
-// shardModes enumerates the engines the cross-cutting suites run under:
-// the sequential engine and the sharded one (one worker per channel).
+// shardModes enumerates the engines the cross-cutting suites run under: the
+// sequential engine and the sharded one (explicitly two workers — AutoShards
+// keeps the sequential engine on shapes under 8 channels).
 var shardModes = []struct {
 	name   string
 	shards int
 }{
 	{"seq", 0},
-	{"sharded", AutoShards},
+	{"sharded", 2},
 }
 
 // buildTinyShards is buildTiny with an explicit shard mode; the worker
@@ -47,9 +48,9 @@ func TestShardedDifferential(t *testing.T) {
 		t.Run(scheme, func(t *testing.T) {
 			for _, seed := range []int64{1, 37, 101} {
 				seq := buildTinyShards(t, scheme, 0)
-				par := buildTinyShards(t, scheme, AutoShards)
+				par := buildTinyShards(t, scheme, 2)
 				if par.Shards() != 2 {
-					t.Fatalf("auto shards = %d on the 2-channel tiny device", par.Shards())
+					t.Fatalf("shards = %d on the 2-channel tiny device", par.Shards())
 				}
 				var seqLat, parLat []sim.Duration
 				seq.SetLatencyHook(func(d sim.Duration) { seqLat = append(seqLat, d) })
@@ -97,7 +98,7 @@ func TestShardedDifferential(t *testing.T) {
 // the sequential engine's call for call.
 func TestShardedServePath(t *testing.T) {
 	seq := buildTinyShards(t, SchemeDLOOP, 0)
-	par := buildTinyShards(t, SchemeDLOOP, AutoShards)
+	par := buildTinyShards(t, SchemeDLOOP, 2)
 	preconditionTiny(t, seq)
 	preconditionTiny(t, par)
 	for i, r := range tinyWorkload(t, seq, 800, 5) {
@@ -136,7 +137,7 @@ func TestShardedWithBufferAndDrain(t *testing.T) {
 		return c
 	}
 	seq := build(0)
-	par := build(AutoShards)
+	par := build(2)
 	w := tinyWorkload(t, seq, 2000, 17)
 	want, err := seq.Run(trace.NewSliceReader(w))
 	if err != nil {
@@ -166,7 +167,7 @@ func TestShardedWithBufferAndDrain(t *testing.T) {
 // attaching a recorder drops a sharded controller back to the ordered
 // sequential engine, and detaching it restores the configured sharding.
 func TestShardedRecorderForcesSequential(t *testing.T) {
-	c := buildTinyShards(t, SchemeDLOOP, AutoShards)
+	c := buildTinyShards(t, SchemeDLOOP, 2)
 	preconditionTiny(t, c)
 	if c.Shards() != 2 {
 		t.Fatalf("shards = %d before recorder", c.Shards())
@@ -194,7 +195,7 @@ func TestShardedRecorderForcesSequential(t *testing.T) {
 // batch is read-only so garbage collection (which allocates on its own,
 // identically on both engines) stays out of the measured window.
 func TestShardedSteadyStateAllocFree(t *testing.T) {
-	c := buildTinyShards(t, SchemeDLOOP, AutoShards)
+	c := buildTinyShards(t, SchemeDLOOP, 2)
 	preconditionTiny(t, c)
 	reqs := tinyWorkload(t, c, 2000, 29)
 	for i := range reqs {
@@ -218,13 +219,15 @@ func TestShardedSteadyStateAllocFree(t *testing.T) {
 }
 
 // TestShardsConfigResolution pins the -shards contract: 0/1 sequential,
-// AutoShards one per channel, larger values clamped.
+// explicit values clamped to the channel count, and AutoShards engaging one
+// worker per channel only on shapes of at least 8 channels (below that it
+// keeps the sequential engine, which benchmarks faster).
 func TestShardsConfigResolution(t *testing.T) {
 	for _, tc := range []struct {
 		shards int
 		want   int
 	}{
-		{0, 1}, {1, 1}, {2, 2}, {8, 2}, {AutoShards, 2},
+		{0, 1}, {1, 1}, {2, 2}, {8, 2}, {AutoShards, 1},
 	} {
 		cfg := tinyConfig(SchemeDLOOP)
 		cfg.Shards = tc.shards
@@ -236,5 +239,15 @@ func TestShardsConfigResolution(t *testing.T) {
 			t.Errorf("Shards=%d resolved to %d workers, want %d (2 channels)", tc.shards, got, tc.want)
 		}
 		c.Close()
+	}
+	for _, tc := range []struct {
+		channels int
+		want     int
+	}{
+		{4, 1}, {8, 8},
+	} {
+		if got := resolveShards(AutoShards, tc.channels); got != tc.want {
+			t.Errorf("resolveShards(AutoShards, %d) = %d, want %d", tc.channels, got, tc.want)
+		}
 	}
 }

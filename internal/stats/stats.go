@@ -164,6 +164,22 @@ func (h *LatencyHist) Clone() LatencyHist {
 	return out
 }
 
+// Merge folds another histogram into h. Bucket counts are integers, so the
+// merge is exact: a merged histogram equals one that saw every sample
+// directly, regardless of fold order.
+func (h *LatencyHist) Merge(o LatencyHist) {
+	if o.total == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, histMaxBuckets)
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	h.total += o.total
+}
+
 // Quantile returns an approximation of the q-quantile (0 < q <= 1), or 0
 // with no samples.
 func (h *LatencyHist) Quantile(q float64) sim.Duration {

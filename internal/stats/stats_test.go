@@ -326,3 +326,37 @@ func TestTimeSeries(t *testing.T) {
 		t.Fatalf("Render output: %q", buf.String())
 	}
 }
+
+func TestLatencyHistMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, a, b LatencyHist
+	for i := 0; i < 5000; i++ {
+		d := sim.Duration(rng.Int63n(int64(2 * sim.Second)))
+		whole.Add(d)
+		if i%3 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+	}
+	m := a.Clone()
+	m.Merge(b)
+	if m.N() != whole.N() {
+		t.Fatalf("merged N=%d, want %d", m.N(), whole.N())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1.0} {
+		if got, want := m.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("q%.2f: merged %v, sequential %v", q, got, want)
+		}
+	}
+	// Merging an empty histogram is a no-op, including onto an empty one.
+	var empty, dst LatencyHist
+	dst.Merge(empty)
+	if dst.N() != 0 || dst.counts != nil {
+		t.Fatal("empty merge materialized buckets")
+	}
+	dst.Merge(a)
+	if dst.N() != a.N() {
+		t.Fatalf("merge into empty N=%d, want %d", dst.N(), a.N())
+	}
+}
