@@ -329,3 +329,47 @@ func BenchmarkSimulateThroughputObserved(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimulateThroughputObservedMQ is the multi-queue analogue of
+// BenchmarkSimulateThroughputObserved: the 8-channel shape behind the
+// concurrent front end with a collector attached. Since shard-local recorders
+// landed, attaching the collector keeps the shards concurrent — compare
+// against BenchmarkShardedThroughput/8ch/mq to read the observed overhead,
+// which the bench gate holds to the unobserved MQ engine's ballpark. The
+// disabled MQ path's 0 B/op is pinned by TestMQSteadyStateAllocFree.
+func BenchmarkSimulateThroughputObservedMQ(b *testing.B) {
+	geo, err := dloop.ScaledGeometryFor(16, 2, 0.03, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dloop.Config{
+		CapacityGB: 16, FTL: dloop.SchemeDLOOP, Geometry: &geo,
+		FTLShards: dloop.AutoShards, Merge: dloop.MergeDeterministic,
+	}
+	ssd, err := dloop.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ssd.Close()
+	if ssd.FTLShards() != 8 {
+		b.Fatalf("controller runs %d FTL shards, want 8", ssd.FTLShards())
+	}
+	p := dloop.Financial1()
+	p.FootprintBytes = int64(ssd.Capacity()) * int64(geo.PageSize) / 2
+	if err := ssd.PreconditionBytes(p.FootprintBytes); err != nil {
+		b.Fatal(err)
+	}
+	ssd.SetRecorder(obs.NewCollector(ssd.ObsOptions()))
+	reqs, err := dloop.GenerateTrace(p, 42, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ssd.Enqueue(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ssd.Flush()
+}

@@ -17,6 +17,7 @@ import (
 	"dloop"
 	"dloop/internal/expt"
 	"dloop/internal/obs"
+	"dloop/internal/obs/httpexport"
 	"dloop/internal/prof"
 	"dloop/internal/sim"
 	"dloop/internal/ssd"
@@ -47,6 +48,7 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write the run's observability metrics.json to this file")
 		traceEvents = flag.String("trace-events", "", "write a Chrome trace-event/Perfetto timeline of every flash op to this file")
 		snapshotMs  = flag.Int("snapshot-interval", 0, "emit SDRPP/utilization time-series snapshots every N simulated ms (0 = off)")
+		listen      = flag.String("listen", "", "serve live Prometheus /metrics, /metrics.json and /debug/pprof on this address (e.g. :9090) while the run executes")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -91,7 +93,7 @@ func main() {
 		Merge:           *merge,
 	}
 
-	ob, err := newObserver(*metricsOut, *traceEvents, *snapshotMs)
+	ob, err := newObserver(*metricsOut, *traceEvents, *snapshotMs, *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dloopsim:", err)
 		os.Exit(1)
@@ -123,16 +125,19 @@ func main() {
 }
 
 // observer owns the command's observability sinks: it builds one collector
-// per run (at the post-precondition attach point) and flushes the metrics
-// and trace files when the run finishes.
+// per run (at the post-precondition attach point), publishes live snapshots
+// to the HTTP exporter at epoch barriers, and flushes the metrics and trace
+// files when the run finishes.
 type observer struct {
 	metricsOut string
 	traceFile  *os.File
 	snapshot   sim.Duration
 	col        *obs.Collector
+	srv        *httpexport.Server
+	lastPub    time.Time
 }
 
-func newObserver(metricsOut, traceEvents string, snapshotMs int) (*observer, error) {
+func newObserver(metricsOut, traceEvents string, snapshotMs int, listen string) (*observer, error) {
 	ob := &observer{
 		metricsOut: metricsOut,
 		snapshot:   sim.Duration(snapshotMs) * sim.Millisecond,
@@ -144,12 +149,23 @@ func newObserver(metricsOut, traceEvents string, snapshotMs int) (*observer, err
 		}
 		ob.traceFile = f
 	}
+	if listen != "" {
+		srv, err := httpexport.Listen(listen)
+		if err != nil {
+			if ob.traceFile != nil {
+				ob.traceFile.Close()
+			}
+			return nil, err
+		}
+		ob.srv = srv
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (Prometheus), /metrics.json, /debug/pprof/\n", srv.Addr())
+	}
 	return ob, nil
 }
 
 // enabled reports whether any observability output was requested.
 func (ob *observer) enabled() bool {
-	return ob.metricsOut != "" || ob.traceFile != nil || ob.snapshot > 0
+	return ob.metricsOut != "" || ob.traceFile != nil || ob.snapshot > 0 || ob.srv != nil
 }
 
 // attach builds the collector for a freshly preconditioned SSD; it returns
@@ -164,7 +180,22 @@ func (ob *observer) attach(c *ssd.Controller) obs.Recorder {
 	}
 	o.SnapshotInterval = ob.snapshot
 	ob.col = obs.NewCollector(o)
+	if ob.srv != nil {
+		c.SetPulse(ob.publish)
+		ob.publish()
+	}
 	return ob.col
+}
+
+// publish pushes a merged registry snapshot to the exporter, throttled on
+// the wall clock: the simulator pulses at every epoch barrier, far faster
+// than any scraper polls.
+func (ob *observer) publish() {
+	if time.Since(ob.lastPub) < 250*time.Millisecond {
+		return
+	}
+	ob.lastPub = time.Now()
+	ob.srv.Publish(ob.col.SnapshotRegistry())
 }
 
 // finish closes the collector and writes the requested artifacts.
@@ -174,6 +205,13 @@ func (ob *observer) finish() error {
 	}
 	if err := ob.col.Close(); err != nil {
 		return err
+	}
+	if ob.srv != nil {
+		// Final state, bypassing the rate limit; the endpoint stays up until
+		// the process exits so a last scrape can collect it.
+		if err := ob.srv.Publish(ob.col.SnapshotRegistry()); err != nil {
+			return err
+		}
 	}
 	if ob.traceFile != nil {
 		if err := ob.traceFile.Close(); err != nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dloop"
+	"dloop/internal/obs/httpexport"
 	"dloop/internal/prof"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "directory receiving one metrics.json per run")
 		traceEvents = flag.String("trace-events", "", "directory receiving one Chrome trace-event document per run")
 		snapshotMs  = flag.Int("snapshot-interval", 0, "emit SDRPP/utilization time-series snapshots every N simulated ms (0 = off)")
+		listen      = flag.String("listen", "", "serve live Prometheus /metrics, /metrics.json and /debug/pprof on this address (e.g. :9090) while the sweep runs")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -77,6 +79,16 @@ func main() {
 		ParallelCells: *cells, Shards: nShards, FTLShards: nFTLShards, Merge: *merge,
 		MetricsDir: *metricsOut, TraceDir: *traceEvents, SnapshotIntervalMs: *snapshotMs,
 		NoFork: *noFork,
+	}
+	if *listen != "" {
+		srv, err := httpexport.Listen(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (Prometheus), /metrics.json, /debug/pprof/\n", srv.Addr())
+		opt.Exporter = srv
 	}
 	if !*quiet {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }

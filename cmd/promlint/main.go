@@ -1,0 +1,41 @@
+// Command promlint validates a Prometheus text exposition document, e.g. one
+// scraped from dloopsim's -listen endpoint. It reads stdin (or the files
+// given as arguments) and exits non-zero on the first malformed input.
+//
+// Usage:
+//
+//	curl -s localhost:9090/metrics | promlint
+//	promlint metrics.prom
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"dloop/internal/obs/httpexport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		lint("<stdin>", os.Stdin)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		lint(path, f)
+		f.Close()
+	}
+}
+
+func lint(name string, r io.Reader) {
+	if err := httpexport.Validate(r); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid exposition\n", name)
+}

@@ -15,8 +15,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dloop/internal/obs"
+	"dloop/internal/obs/httpexport"
 	"dloop/internal/sim"
 	"dloop/internal/ssd"
 	"dloop/internal/workload"
@@ -78,6 +80,12 @@ type Options struct {
 	// SnapshotIntervalMs, when > 0, adds SDRPP/utilization/throughput time
 	// series to each run's metrics, sampled every N simulated milliseconds.
 	SnapshotIntervalMs int
+	// Exporter, when non-nil, receives live merged registry snapshots from
+	// every observed cell at its epoch barriers (wall-clock rate-limited);
+	// serve it over HTTP with internal/obs/httpexport. Sweep cells run
+	// concurrently, so the exporter shows whichever cell published last —
+	// each snapshot carries its cell's ftl label.
+	Exporter *httpexport.Server
 
 	// NoFork disables warm-up sharing: every sweep cell builds and
 	// preconditions its own simulator instead of forking a checkpoint taken
@@ -88,7 +96,8 @@ type Options struct {
 
 // observes reports whether any observability output is requested.
 func (o Options) observes() bool {
-	return o.MetricsDir != "" || o.TraceDir != "" || o.SnapshotIntervalMs > 0
+	return o.MetricsDir != "" || o.TraceDir != "" || o.SnapshotIntervalMs > 0 ||
+		o.Exporter != nil
 }
 
 func (o *Options) setDefaults() {
@@ -274,6 +283,19 @@ func runCell(j job, opt Options, warmed *ssd.Controller) (ssd.Result, error) {
 		}
 		o.SnapshotInterval = sim.Duration(opt.SnapshotIntervalMs) * sim.Millisecond
 		col = obs.NewCollector(o)
+		if opt.Exporter != nil {
+			// Publish merged snapshots at epoch barriers, throttled on the
+			// wall clock so tight barrier loops don't spend their time
+			// rendering expositions.
+			var last time.Time
+			c.SetPulse(func() {
+				if time.Since(last) < 250*time.Millisecond {
+					return
+				}
+				last = time.Now()
+				opt.Exporter.Publish(col.SnapshotRegistry())
+			})
+		}
 		return col
 	})
 	if err != nil {
@@ -281,6 +303,11 @@ func runCell(j job, opt Options, warmed *ssd.Controller) (ssd.Result, error) {
 	}
 	if err := col.Close(); err != nil {
 		return ssd.Result{}, err
+	}
+	if opt.Exporter != nil {
+		if err := opt.Exporter.Publish(col.SnapshotRegistry()); err != nil {
+			return ssd.Result{}, err
+		}
 	}
 	if opt.MetricsDir != "" {
 		if err := os.MkdirAll(opt.MetricsDir, 0o755); err != nil {

@@ -113,8 +113,9 @@ type Engine struct {
 	scratch []*collectScratch
 
 	stats     Stats
-	rec       obs.Recorder   // nil when observability is disabled
-	victimRec VictimRecorder // non-nil only when rec implements it
+	rec       obs.Recorder       // nil when observability is disabled
+	victimRec VictimRecorder     // non-nil only when rec implements it
+	spanRec   obs.GCSpanRecorder // non-nil only when rec implements it
 }
 
 // NewEngine builds an engine; hybrid schemes may leave Tracker and Scheme
@@ -140,8 +141,12 @@ func NewEngine(cfg Config) *Engine {
 func (e *Engine) SetRecorder(r obs.Recorder) {
 	e.rec = r
 	e.victimRec = nil
+	e.spanRec = nil
 	if vr, ok := r.(VictimRecorder); ok {
 		e.victimRec = vr
+	}
+	if sr, ok := r.(obs.GCSpanRecorder); ok {
+		e.spanRec = sr
 	}
 }
 
@@ -258,6 +263,7 @@ func (e *Engine) collectOnce(plane int, ready sim.Time) (end sim.Time, reclaimed
 	defer e.putScratch(sc)
 	first := e.geo.FirstPPN(victim)
 	ppb := e.geo.PagesPerBlock
+	wasteBefore := e.stats.ParityWaste
 
 	if e.cfg.Style == MoveOffsetOrder {
 		for p := 0; p < ppb; p++ {
@@ -365,7 +371,10 @@ func (e *Engine) collectOnce(plane int, ready sim.Time) (end sim.Time, reclaimed
 	e.tracker.Erased(victim)
 	e.scheme.Release(victim)
 	e.stats.Runs++
-	if e.rec != nil {
+	if e.spanRec != nil {
+		e.spanRec.RecordGCSpan(int32(victim.Plane), ready, t,
+			e.policy.Name(), len(sc.moved), int(e.stats.ParityWaste-wasteBefore))
+	} else if e.rec != nil {
 		e.rec.RecordSpan(obs.SpanGC, int32(victim.Plane), ready, t)
 	}
 	return t, true, nil

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -25,6 +26,14 @@ type Options struct {
 	// uses it to group plane tracks under their channel. When nil every
 	// plane renders under channel 0.
 	ChannelOfPlane []int32
+	// Shards, when > 1, declares the run's multi-queue FTL shard count: the
+	// trace exporter groups tracks shard→process / channel→thread, and the
+	// collector expects per-shard children (see Shard) whose state merges
+	// back deterministically.
+	Shards int
+	// ShardOfChannel maps global channel -> owning FTL shard (required when
+	// Shards > 1).
+	ShardOfChannel []int32
 
 	// TraceEvents, when non-nil, receives a Chrome trace-event JSON document
 	// on Close (openable in chrome://tracing or ui.perfetto.dev).
@@ -42,7 +51,14 @@ type Options struct {
 // Collector is the standard Recorder: it maintains the metrics registry,
 // streams the op trace to the configured sinks, and emits periodic
 // snapshots. It also implements sim.QueueObserver so event-queue pressure is
-// visible. Not safe for concurrent use.
+// visible.
+//
+// A single collector is not safe for concurrent use, but a multi-queue run
+// does not share one: each shard worker records into a private child
+// collector (Shard), and the parent folds the children back in at quiescent
+// points — Close and SnapshotRegistry — in shard order, so the merged
+// registry is deterministic and bit-identical to serial execution of the
+// same dispatch streams.
 type Collector struct {
 	reg  *Registry
 	opts Options
@@ -79,6 +95,25 @@ type Collector struct {
 	// Event-queue observation.
 	qScheduled, qFired *Counter
 	qHighWater         int
+
+	// GC span enrichment (policy, relocated pages) pre-resolved like the
+	// other hot-path handles.
+	gcPause *Hist
+	gcMoved *Counter
+	gcNames map[string]string
+
+	// Multi-queue children (see shard.go) and host-side auxiliary sources
+	// folded into every merged view.
+	children []*shardChild
+	aux      []func(*Registry)
+	// snapIv remembers the configured snapshot interval: spawning children
+	// zeroes the parent's own interval (ops flow through the children, so
+	// parent windows would be empty rows) but children inherit it.
+	snapIv sim.Duration
+	// oplogBuf, on a child, backs its oplog so the parent can splice the
+	// lines into the real sink at Close.
+	oplogBuf *bytes.Buffer
+	closed   bool
 }
 
 // NewCollector builds a Collector. Planes and Channels must be positive.
@@ -122,9 +157,16 @@ func NewCollector(opts Options) *Collector {
 	}
 	c.qScheduled = c.reg.Counter("sim.events.scheduled")
 	c.qFired = c.reg.Counter("sim.events.fired")
+	c.gcPause = c.reg.Hist("gc.pause")
+	c.gcMoved = c.reg.Counter("gc.relocated_pages")
 	c.planeCum = make([]int64, opts.Planes)
+	c.snapIv = opts.SnapshotInterval
 	if opts.TraceEvents != nil {
-		c.tr = newTraceWriter(opts.TraceEvents, opts.TraceLimit, opts.Channels, opts.ChannelOfPlane)
+		shards := 0
+		if opts.Shards > 1 {
+			shards = opts.Shards
+		}
+		c.tr = newTraceWriter(opts.TraceEvents, opts.TraceLimit, opts.Channels, opts.ChannelOfPlane, shards, opts.ShardOfChannel)
 	}
 	if opts.OpLog != nil {
 		c.oplog = newOpLog(opts.OpLog)
@@ -210,6 +252,42 @@ func (c *Collector) RecordSpan(kind SpanKind, plane int32, start, end sim.Time) 
 	c.advance(end)
 }
 
+// RecordGCSpan implements GCSpanRecorder: beyond the plain SpanGC
+// accounting, it feeds the gc.pause distribution and relocated-page counter
+// and enriches the trace span with the victim policy and per-collection
+// relocation counts.
+func (c *Collector) RecordGCSpan(plane int32, start, end sim.Time, policy string, moved, wasted int) {
+	c.spans[SpanGC].Inc()
+	c.spanBusy[SpanGC] += end.Sub(start)
+	c.gcPause.Observe(end.Sub(start))
+	c.gcMoved.Add(int64(moved))
+	if c.tr != nil {
+		var ch int32
+		if int(plane) < len(c.opts.ChannelOfPlane) {
+			ch = c.opts.ChannelOfPlane[plane]
+		}
+		c.tr.add(traceEvent{
+			name: c.gcSpanName(policy), pid: ch, tid: plane,
+			start: start, dur: end.Sub(start), stored: -1,
+			extra: fmt.Sprintf(",\"policy\":%q,\"moved\":%d,\"wasted\":%d", policy, moved, wasted),
+		})
+	}
+	c.advance(end)
+}
+
+// gcSpanName caches the "gc/<policy>" trace-event names.
+func (c *Collector) gcSpanName(policy string) string {
+	name, ok := c.gcNames[policy]
+	if !ok {
+		if c.gcNames == nil {
+			c.gcNames = map[string]string{}
+		}
+		name = "gc/" + policy
+		c.gcNames[policy] = name
+	}
+	return name
+}
+
 // RecordRequest implements Recorder.
 func (c *Collector) RecordRequest(read bool, arrival, done sim.Time) {
 	if read {
@@ -270,25 +348,40 @@ func (c *Collector) emitSnapshot(windowStart sim.Time, window sim.Duration) {
 	c.winBusy = 0
 }
 
-// Close finalizes the run: it flushes a trailing partial snapshot window,
-// samples the utilization source, folds span and queue gauges into the
-// registry, and flushes the trace and op-log sinks. It returns the first
-// sink error.
-func (c *Collector) Close() error {
+// flushTrailing closes the open partial snapshot window, if any. Safe to
+// call repeatedly (the window accumulators reset on emit).
+func (c *Collector) flushTrailing() {
 	if c.opts.SnapshotInterval > 0 && c.winOps > 0 {
 		start := c.nextSnap.Add(-c.opts.SnapshotInterval)
 		if w := c.watermark.Sub(start); w > 0 {
 			c.emitSnapshot(start, w)
 		}
 	}
+}
+
+// foldGauges writes the collector's live typed state — span busy times,
+// queue high-water, device utilization, trace drops — into dst as gauges and
+// vectors, summing across shard children. Both Close (dst = the live
+// registry) and SnapshotRegistry (dst = a clone) use it.
+func (c *Collector) foldGauges(dst *Registry) {
 	for s := SpanKind(0); s < NumSpanKinds; s++ {
-		c.reg.Gauge(s.String() + ".busy_ms").Set(c.spanBusy[s].Milliseconds())
+		busy := c.spanBusy[s]
+		for _, ch := range c.children {
+			busy += ch.col.spanBusy[s]
+		}
+		dst.Gauge(s.String() + ".busy_ms").Set(busy.Milliseconds())
 	}
-	c.reg.Gauge("sim.queue.highwater").Set(float64(c.qHighWater))
+	hw := c.qHighWater
+	for _, ch := range c.children {
+		if ch.col.qHighWater > hw {
+			hw = ch.col.qHighWater
+		}
+	}
+	dst.Gauge("sim.queue.highwater").Set(float64(hw))
 	if c.utilSrc != nil {
 		planes, chips, channels := c.utilSrc()
 		fill := func(name, label string, ds []sim.Duration) {
-			v := c.reg.CounterVec(name, label, len(ds))
+			v := dst.CounterVec(name, label, len(ds))
 			for i, d := range ds {
 				v.vals[i] = int64(d) / int64(sim.Microsecond)
 			}
@@ -297,14 +390,52 @@ func (c *Collector) Close() error {
 		fill("chip.busy_us", "chip", chips)
 		fill("channel.busy_us", "channel", channels)
 	}
+	if c.tr != nil {
+		d := c.tr.Dropped()
+		for _, ch := range c.children {
+			if ch.col.tr != nil {
+				d += ch.col.tr.Dropped()
+			}
+		}
+		dst.Gauge("trace.dropped").Set(float64(d))
+	}
+}
+
+// Close finalizes the run: it flushes trailing partial snapshot windows,
+// merges every shard child into the registry and trace buffer (in shard
+// order, so the merge is deterministic), samples the utilization source,
+// folds span and queue gauges and auxiliary sources into the registry, and
+// flushes the trace and op-log sinks. It returns the first sink error.
+func (c *Collector) Close() error {
+	c.flushTrailing()
+	for _, ch := range c.children {
+		ch.col.flushTrailing()
+		mergeChildRegistry(c.reg, ch, c)
+		if c.tr != nil && ch.col.tr != nil {
+			c.tr.mergeShard(ch.col.tr, int32(ch.opt.Index), ch.opt.ChanMap, ch.opt.PlaneMap)
+		}
+	}
+	c.foldGauges(c.reg)
+	for _, fn := range c.aux {
+		fn(c.reg)
+	}
+	c.closed = true
 	var firstErr error
 	if c.tr != nil {
-		c.reg.Gauge("trace.dropped").Set(float64(c.tr.Dropped()))
 		if err := c.tr.Flush(); err != nil {
 			firstErr = fmt.Errorf("obs: trace events: %w", err)
 		}
 	}
 	if c.oplog != nil {
+		for _, ch := range c.children {
+			if ch.col.oplog == nil {
+				continue
+			}
+			if err := ch.col.oplog.Flush(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: op log (shard %d): %w", ch.opt.Index, err)
+			}
+			c.oplog.append(ch.col.oplogBuf.Bytes())
+		}
 		if err := c.oplog.Flush(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("obs: op log: %w", err)
 		}

@@ -1,0 +1,254 @@
+// Package httpexport serves a live view of an obs registry over HTTP while a
+// simulation runs: Prometheus text exposition at /metrics, the metrics.json
+// document at /metrics.json, and the Go runtime profiles under /debug/pprof/.
+//
+// The simulator is single-threaded at its quiescent points, so the split of
+// responsibilities is strict: the host goroutine calls Publish with a merged
+// registry snapshot (obs.Collector.SnapshotRegistry), Publish renders both
+// documents synchronously and swaps them in atomically, and HTTP handlers
+// only ever read the last rendered bytes. Scrapes therefore never touch live
+// metric state and never block the simulation.
+package httpexport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"dloop/internal/obs"
+)
+
+// ContentType is the Prometheus text exposition content type served at
+// /metrics.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// payload is one rendered snapshot: both documents derive from the same
+// registry state, so they swap in together.
+type payload struct {
+	prom []byte
+	js   []byte
+}
+
+// Server is a live metrics endpoint. Create with Listen, feed with Publish,
+// stop with Close.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	snap atomic.Value // *payload
+}
+
+// Listen starts serving on addr (host:port; ":0" picks a free port — read it
+// back with Addr). The endpoint is alive immediately; before the first
+// Publish both documents are empty.
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpexport: %w", err)
+	}
+	s := &Server{ln: ln}
+	s.snap.Store(&payload{prom: []byte{}, js: []byte("{}\n")})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		w.Write(s.snap.Load().(*payload).prom)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.snap.Load().(*payload).js)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "<html><body><h1>dloop telemetry</h1><ul>"+
+			"<li><a href=\"/metrics\">/metrics</a> (Prometheus)</li>"+
+			"<li><a href=\"/metrics.json\">/metrics.json</a></li>"+
+			"<li><a href=\"/debug/pprof/\">/debug/pprof/</a></li>"+
+			"</ul></body></html>")
+	})
+
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Publish renders r into both exposition forms and swaps them in atomically.
+// Call from the simulation goroutine at a quiescent point with an independent
+// registry (obs.Collector.SnapshotRegistry); the server never retains r.
+func (s *Server) Publish(r *obs.Registry) error {
+	snap := r.Snapshot()
+	var prom bytes.Buffer
+	if err := WriteProm(&prom, snap); err != nil {
+		return err
+	}
+	var js bytes.Buffer
+	enc := json.NewEncoder(&js)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return err
+	}
+	s.snap.Store(&payload{prom: prom.Bytes(), js: js.Bytes()})
+	return nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// promName maps a dotted registry name to a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dloop_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel maps a registry label key to a valid Prometheus label name
+// (e.g. "gc.policy" -> "gc_policy").
+func promLabel(k string) string {
+	var b strings.Builder
+	for i, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_',
+			r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// labelSet renders the registry-wide labels plus extras into one {...} block
+// ("" when empty). Keys render in sorted order.
+func labelSet(base map[string]string, extraK, extraV string) string {
+	n := len(base)
+	if extraK != "" {
+		n++
+	}
+	if n == 0 {
+		return ""
+	}
+	keys := make([]string, 0, n)
+	for k := range base {
+		keys = append(keys, k)
+	}
+	if extraK != "" {
+		if _, clash := base[extraK]; !clash {
+			keys = append(keys, extraK)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := base[k]
+		if k == extraK {
+			v = extraV
+		}
+		fmt.Fprintf(&b, `%s="%s"`, promLabel(k), escapeLabel(v))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fmtFloat renders a sample value the way Prometheus expects.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteProm writes snap in the Prometheus text exposition format (version
+// 0.0.4). Counters and gauges map directly; histograms render as summaries
+// with p50/p99/p999 quantiles in milliseconds plus _sum/_count; vectors
+// become one labeled family per name. Time series have no exposition analogue
+// and are skipped — scrape deltas reconstruct them on the Prometheus side.
+// Families render in sorted name order so output is deterministic.
+func WriteProm(w *bytes.Buffer, snap obs.RegistrySnapshot) error {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(w, "%s%s %d\n", pn, labelSet(snap.Labels, "", ""), snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(w, "%s%s %s\n", pn, labelSet(snap.Labels, "", ""), fmtFloat(snap.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		pn := promName(name) + "_ms"
+		fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+		for _, q := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", h.P50Ms}, {"0.99", h.P99Ms}, {"0.999", h.P999Ms}} {
+			fmt.Fprintf(w, "%s%s %s\n", pn, labelSet(snap.Labels, "quantile", q.q), fmtFloat(q.v))
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", pn, labelSet(snap.Labels, "", ""), fmtFloat(h.MeanMs*float64(h.N)))
+		fmt.Fprintf(w, "%s_count%s %d\n", pn, labelSet(snap.Labels, "", ""), h.N)
+	}
+
+	names = names[:0]
+	for name := range snap.Vectors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := snap.Vectors[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		for i, val := range v.Values {
+			fmt.Fprintf(w, "%s%s %d\n", pn, labelSet(snap.Labels, v.Label, strconv.Itoa(i)), val)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package httpexport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dloop/internal/obs"
+	"dloop/internal/sim"
+)
+
+// testRegistry builds a registry with one of every metric family.
+func testRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.SetLabel("ftl", "DLOOP")
+	r.SetLabel("gc.policy", "greedy") // dotted key must sanitize to gc_policy
+	r.Counter("flash.write.host").Add(42)
+	r.Gauge("gc.busy_ms").Set(3.5)
+	h := r.Hist("mq.lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Duration(i) * sim.Microsecond)
+	}
+	v := r.CounterVec("plane.ops", "plane", 2)
+	v.Add(0, 7)
+	v.Add(1, 9)
+	r.Series("ops", sim.Millisecond).Add(0, 1) // skipped by the exposition
+	return r
+}
+
+func TestWritePromFormat(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteProm(&a, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("exposition output is not deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE dloop_flash_write_host counter\n" + `dloop_flash_write_host{ftl="DLOOP",gc_policy="greedy"} 42`,
+		"# TYPE dloop_gc_busy_ms gauge\n" + `dloop_gc_busy_ms{ftl="DLOOP",gc_policy="greedy"} 3.5`,
+		"# TYPE dloop_mq_lat_ms summary",
+		`dloop_mq_lat_ms{ftl="DLOOP",gc_policy="greedy",quantile="0.999"}`,
+		`dloop_mq_lat_ms_count{ftl="DLOOP",gc_policy="greedy"} 100`,
+		`dloop_plane_ops{ftl="DLOOP",gc_policy="greedy",plane="1"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dloop_ops") {
+		t.Error("time series leaked into the exposition")
+	}
+	if err := Validate(strings.NewReader(out)); err != nil {
+		t.Errorf("own exposition fails validation: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"empty":           "",
+		"bad sample":      "dloop_x{ 1\n",
+		"bad value":       "dloop_x one\n",
+		"bad label":       "dloop_x{3plane=\"0\"} 1\n",
+		"duplicate type":  "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"type after use":  "a 1\n# TYPE a counter\na 2\n",
+		"type no samples": "# TYPE a counter\nb 1\n",
+		"malformed TYPE":  "# TYPE a flavor\na 1\n",
+	} {
+		if Validate(strings.NewReader(doc)) == nil {
+			t.Errorf("%s: accepted %q", name, doc)
+		}
+	}
+	good := "# arbitrary comment\n# HELP a help text\n# TYPE a counter\na{x=\"y,\\\"z\\\"\"} 1\nuntyped_is_fine 2.5\nnanval NaN\n"
+	if err := Validate(strings.NewReader(good)); err != nil {
+		t.Errorf("rejected valid exposition: %v", err)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	// Before the first Publish the endpoints serve empty documents.
+	if code, ct, body := get("/metrics"); code != 200 || ct != ContentType || body != "" {
+		t.Errorf("pre-publish /metrics: %d %q %q", code, ct, body)
+	}
+
+	if err := s.Publish(testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	code, ct, body := get("/metrics")
+	if code != 200 || ct != ContentType {
+		t.Errorf("/metrics: %d %q", code, ct)
+	}
+	if err := Validate(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics fails validation: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "dloop_flash_write_host") {
+		t.Error("/metrics missing counter family")
+	}
+
+	code, ct, body = get("/metrics.json")
+	if code != 200 || ct != "application/json" {
+		t.Errorf("/metrics.json: %d %q", code, ct)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+	if doc.Counters["flash.write.host"] != 42 {
+		t.Errorf("/metrics.json counters = %v", doc.Counters)
+	}
+
+	if code, _, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline: %d %q", code, body)
+	}
+	if code, _, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+
+	// Publishing again swaps the documents atomically.
+	r2 := testRegistry()
+	r2.Counter("flash.write.host").Add(8)
+	if err := s.Publish(r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, body := get("/metrics"); !strings.Contains(body, fmt.Sprintf(" %d\n", 50)) {
+		t.Error("republished counter not visible")
+	}
+}

@@ -1,0 +1,120 @@
+package httpexport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Validate lints a Prometheus text exposition (version 0.0.4) document: every
+// line must be a well-formed comment, TYPE/HELP declaration, or sample; TYPE
+// declarations must be unique and precede their family's samples; summary
+// samples must belong to a declared summary family; sample values must parse
+// as floats. It is the checker CI runs against the live /metrics endpoint.
+func Validate(r io.Reader) error {
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+-?\d+)?$`)
+		labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+		typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary|histogram|untyped)$`)
+	)
+	types := map[string]string{}
+	sampled := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := typeRe.FindStringSubmatch(line); m != nil {
+				if _, dup := types[m[1]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, m[1])
+				}
+				if sampled[m[1]] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, m[1])
+				}
+				types[m[1]] = m[2]
+				continue
+			}
+			if strings.HasPrefix(line, "# HELP ") || !strings.HasPrefix(line, "# TYPE ") {
+				continue // free-form comment or HELP; nothing to check
+			}
+			return fmt.Errorf("line %d: malformed TYPE declaration: %q", lineNo, line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if !nameRe.MatchString(name) {
+			return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			if value != "NaN" && value != "+Inf" && value != "-Inf" {
+				return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+			}
+		}
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !labelRe.MatchString(pair) {
+					return fmt.Errorf("line %d: bad label pair %q", lineNo, pair)
+				}
+			}
+		}
+		// A summary's _sum/_count samples belong to the base family.
+		family := name
+		if t := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count"); t != name {
+			if types[t] == "summary" || types[t] == "histogram" {
+				family = t
+			}
+		}
+		sampled[family] = true
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for fam := range types {
+		if !sampled[fam] {
+			return fmt.Errorf("TYPE declared for %s but no samples follow", fam)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label block body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++ // skip escaped char
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

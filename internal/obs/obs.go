@@ -8,8 +8,11 @@
 // simulated device, the FTLs, and the SSD controller. Every hook is guarded
 // by a single pointer check, so a run with observability disabled performs no
 // allocation and no work beyond that check — the allocation-free hot path is
-// preserved. Recorders, like the simulator itself, are not safe for
-// concurrent use; each run owns its own.
+// preserved. An individual recorder is not safe for concurrent use; each
+// execution context owns its own. Multi-queue runs keep that invariant
+// under concurrency by giving every FTL shard a private child collector
+// (Collector.Shard) that only its worker touches, merged back into the
+// parent in shard order at quiescent barriers.
 package obs
 
 import (
@@ -172,6 +175,15 @@ type Recorder interface {
 	RecordSpan(kind SpanKind, plane int32, start, end sim.Time)
 	// RecordRequest records one completed host request.
 	RecordRequest(read bool, arrival, done sim.Time)
+}
+
+// GCSpanRecorder is the GC engine's optional rich-span extension of
+// Recorder: the victim-selection policy and the collection's relocation
+// counts ride along with the trigger→erase interval. The Collector
+// implements it; engines fall back to RecordSpan when the attached recorder
+// does not.
+type GCSpanRecorder interface {
+	RecordGCSpan(plane int32, start, end sim.Time, policy string, moved, wasted int)
 }
 
 // UtilizationSource reports cumulative busy time per plane, chip serial bus,

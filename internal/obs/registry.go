@@ -54,6 +54,27 @@ func (h *Hist) MeanMs() float64 { return h.w.Mean() }
 // Quantile returns the approximate q-quantile.
 func (h *Hist) Quantile(q float64) sim.Duration { return h.h.Quantile(q) }
 
+// Summary snapshots the distribution into its JSON/exposition form.
+func (h *Hist) Summary() LatencySummary {
+	return LatencySummary{
+		N:      h.N(),
+		MeanMs: finite(h.w.Mean()),
+		MinMs:  finite(h.w.Min()),
+		MaxMs:  finite(h.w.Max()),
+		P50Ms:  h.Quantile(0.5).Milliseconds(),
+		P99Ms:  h.Quantile(0.99).Milliseconds(),
+		P999Ms: h.Quantile(0.999).Milliseconds(),
+	}
+}
+
+// merge folds another histogram into this one. The log-bucket histogram
+// merges exactly; the Welford accumulator combines in call order, so merging
+// shards in a fixed order keeps the result deterministic.
+func (h *Hist) merge(o *Hist) {
+	h.w.Merge(o.w)
+	h.h.Merge(o.h)
+}
+
 // CounterVec is a dense vector of counts over one small integer dimension
 // (plane index, channel index).
 type CounterVec struct {
@@ -156,39 +177,45 @@ func (r *Registry) Series(name string, bucket sim.Duration) *stats.TimeSeries {
 	return s
 }
 
-// histSnapshot is the JSON form of a Hist.
-type histSnapshot struct {
+// LatencySummary is the JSON form of a Hist: sample count, streaming
+// mean/extremes, and the reported quantiles. p999 reads the histogram's deep
+// tail — the signal multi-tenant tail-latency analysis cares about when p99
+// looks healthy.
+type LatencySummary struct {
 	N      int64   `json:"n"`
 	MeanMs float64 `json:"mean_ms"`
 	MinMs  float64 `json:"min_ms"`
 	MaxMs  float64 `json:"max_ms"`
 	P50Ms  float64 `json:"p50_ms"`
 	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
 }
 
-// vecSnapshot is the JSON form of a CounterVec.
-type vecSnapshot struct {
+// VecSnapshot is the JSON form of a CounterVec.
+type VecSnapshot struct {
 	Label  string  `json:"label"`
 	Values []int64 `json:"values"`
 }
 
-// seriesPoint is one time-series bucket in JSON form.
-type seriesPoint struct {
+// SeriesPoint is one time-series bucket in JSON form.
+type SeriesPoint struct {
 	TSeconds float64 `json:"t_s"`
 	N        int64   `json:"n"`
 	Mean     float64 `json:"mean"`
 	Max      float64 `json:"max"`
 }
 
-// registrySnapshot is the metrics.json document. encoding/json sorts map
-// keys, so output is deterministic.
-type registrySnapshot struct {
-	Labels     map[string]string        `json:"labels,omitempty"`
-	Counters   map[string]int64         `json:"counters,omitempty"`
-	Gauges     map[string]float64       `json:"gauges,omitempty"`
-	Histograms map[string]histSnapshot  `json:"histograms,omitempty"`
-	Vectors    map[string]vecSnapshot   `json:"vectors,omitempty"`
-	Series     map[string][]seriesPoint `json:"series,omitempty"`
+// RegistrySnapshot is the metrics.json document: a plain-data copy of the
+// registry that exporters (the HTTP endpoint, the JSON writer) serialize
+// without touching live metric state. encoding/json sorts map keys, so output
+// is deterministic.
+type RegistrySnapshot struct {
+	Labels     map[string]string         `json:"labels,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]LatencySummary `json:"histograms,omitempty"`
+	Vectors    map[string]VecSnapshot    `json:"vectors,omitempty"`
+	Series     map[string][]SeriesPoint  `json:"series,omitempty"`
 }
 
 // finite maps NaN/Inf (e.g. extremes of an empty accumulator) to 0, which
@@ -200,13 +227,14 @@ func finite(v float64) float64 {
 	return v
 }
 
-func (r *Registry) snapshot() registrySnapshot {
-	snap := registrySnapshot{
+// Snapshot copies the registry into its plain-data exposition form.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	snap := RegistrySnapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
-		Histograms: make(map[string]histSnapshot, len(r.hists)),
-		Vectors:    make(map[string]vecSnapshot, len(r.vecs)),
-		Series:     make(map[string][]seriesPoint, len(r.series)),
+		Histograms: make(map[string]LatencySummary, len(r.hists)),
+		Vectors:    make(map[string]VecSnapshot, len(r.vecs)),
+		Series:     make(map[string][]SeriesPoint, len(r.series)),
 	}
 	if len(r.labels) > 0 {
 		snap.Labels = r.labels
@@ -218,26 +246,19 @@ func (r *Registry) snapshot() registrySnapshot {
 		snap.Gauges[name] = finite(g.v)
 	}
 	for name, h := range r.hists {
-		snap.Histograms[name] = histSnapshot{
-			N:      h.N(),
-			MeanMs: finite(h.w.Mean()),
-			MinMs:  finite(h.w.Min()),
-			MaxMs:  finite(h.w.Max()),
-			P50Ms:  h.Quantile(0.5).Milliseconds(),
-			P99Ms:  h.Quantile(0.99).Milliseconds(),
-		}
+		snap.Histograms[name] = h.Summary()
 	}
 	for name, v := range r.vecs {
-		snap.Vectors[name] = vecSnapshot{Label: v.label, Values: v.vals}
+		snap.Vectors[name] = VecSnapshot{Label: v.label, Values: v.vals}
 	}
 	for name, s := range r.series {
-		pts := make([]seriesPoint, 0, s.Buckets())
+		pts := make([]SeriesPoint, 0, s.Buckets())
 		for i := 0; i < s.Buckets(); i++ {
 			b := s.Bucket(i)
 			if b.N() == 0 {
 				continue
 			}
-			pts = append(pts, seriesPoint{
+			pts = append(pts, SeriesPoint{
 				TSeconds: sim.Duration(int64(s.BucketWidth()) * int64(i)).Seconds(),
 				N:        b.N(),
 				Mean:     finite(b.Mean()),
@@ -254,5 +275,31 @@ func (r *Registry) snapshot() registrySnapshot {
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.snapshot())
+	return enc.Encode(r.Snapshot())
+}
+
+// clone returns an independent deep copy of the registry; SnapshotRegistry
+// builds live merged views on clones so serving a snapshot never perturbs the
+// run's own metrics.
+func (r *Registry) clone() *Registry {
+	out := NewRegistry()
+	for k, v := range r.labels {
+		out.labels[k] = v
+	}
+	for k, v := range r.counters {
+		out.counters[k] = &Counter{v: v.v}
+	}
+	for k, v := range r.gauges {
+		out.gauges[k] = &Gauge{v: v.v}
+	}
+	for k, v := range r.hists {
+		out.hists[k] = &Hist{w: v.w, h: v.h.Clone()}
+	}
+	for k, v := range r.vecs {
+		out.vecs[k] = &CounterVec{label: v.label, vals: append([]int64(nil), v.vals...)}
+	}
+	for k, v := range r.series {
+		out.series[k] = v.Clone()
+	}
+	return out
 }

@@ -91,7 +91,10 @@ type Config struct {
 	// single-FTL engine; AutoShards uses one shard per channel on devices
 	// with at least 8 channels and the single-FTL engine below that; other
 	// values are reduced to the largest divisor of the channel count.
-	// Incompatible with BufferPages.
+	// Attaching an *obs.Collector keeps the shards concurrent (each shard
+	// records into a private child collector, merged deterministically at
+	// epoch barriers); any other recorder forces serial in-order execution
+	// while attached. Incompatible with BufferPages.
 	FTLShards int
 	// Merge selects how per-shard completions merge into response-time
 	// statistics when FTLShards > 1: MergeDeterministic (the default, "")

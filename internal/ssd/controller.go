@@ -68,6 +68,12 @@ type Controller struct {
 	// order on both engines; the differential tests use it to compare the
 	// sequential and sharded latency streams element-for-element.
 	latHook func(sim.Duration)
+
+	// pulse, when set, fires at quiescent points (after every Flush epoch, or
+	// per request on the sequential engine); the live HTTP exporter publishes
+	// registry snapshots from it. The callback is responsible for its own
+	// rate limiting.
+	pulse func()
 }
 
 func newController(dev *flash.Device, f ftl.FTL, cfg Config) *Controller {
@@ -191,6 +197,10 @@ func (c *Controller) ObsOptions() obs.Options {
 		ChannelOfPlane: channelOfPlane,
 		PagesPerBlock:  geo.PagesPerBlock,
 	}
+	if c.fe != nil {
+		opts.Shards = len(c.fe.shards)
+		opts.ShardOfChannel = c.fe.shardOfChannel()
+	}
 	if p, ok := f.(interface{ GCPolicyName() string }); ok {
 		opts.GCPolicy = p.GCPolicyName()
 	}
@@ -201,8 +211,11 @@ func (c *Controller) ObsOptions() obs.Options {
 // the whole stack: host-request completions here, flash operations at the
 // device, and GC/merge/CMT activity at the FTL (via ftl.Observable). When
 // the recorder is an *obs.Collector it is also wired to sample the device's
-// busy-time utilization at Close. Attach after preconditioning so the stream
-// covers exactly the measured window.
+// busy-time utilization at Close. On a multi-queue controller a collector
+// observes the shards while they run concurrently (each worker records into
+// a private child merged back at barriers); only the sub-devices' timing
+// engines drop while it is attached. Attach after preconditioning so the
+// stream covers exactly the measured window.
 func (c *Controller) SetRecorder(r obs.Recorder) {
 	if c.fe != nil {
 		c.fe.setRecorder(c, r)
@@ -230,6 +243,14 @@ func (c *Controller) SetRecorder(r obs.Recorder) {
 		c.applySharding()
 	}
 }
+
+// SetPulse registers fn (nil detaches) to run at quiescent points: after
+// every epoch Flush on the pipelined engines, and after every served request
+// on the sequential one. The collector's SnapshotRegistry is safe to call
+// from inside it, which is how dloopsim's -listen exporter publishes live
+// metrics mid-run. The callback should rate-limit itself; pulses arrive at
+// epoch frequency.
+func (c *Controller) SetPulse(fn func()) { c.pulse = fn }
 
 // pageSpan returns the logical pages touched by a sector range.
 func (c *Controller) pageSpan(r trace.Request) (first, last ftl.LPN) {

@@ -57,10 +57,18 @@ import (
 //
 // Serial execution mode (frontEnd.serial) runs the same shard partitioning
 // inline on the host goroutine in dispatch order. It is the baseline the
-// differential tests compare concurrent execution against, and the mode
-// observability runs use: per-op trace events are inherently ordered, so
-// attaching a recorder forces serial execution for as long as it stays
-// attached, exactly like the timing engine's recorder contract.
+// differential tests compare concurrent execution against.
+//
+// Observability is shard-native: attaching an *obs.Collector gives every
+// shard a private child collector (obs.Collector.Shard) that only its worker
+// touches, so metrics and traces are gathered while the shards run
+// concurrently; the parent folds the children back in shard order at
+// quiescent points, making the merged registry bit-identical to a serial run
+// of the same configuration. Each sub-device's *timing* sharding still drops
+// while a recorder is attached (per-op events are ordered within a shard),
+// but the FTL-shard concurrency — the part under study — is preserved.
+// Non-Collector recorders have no merge semantics, so they keep the old
+// contract: serial execution with a translating per-shard wrapper.
 
 // Completion-merge modes for Config.Merge.
 const (
@@ -125,6 +133,10 @@ type ftlShard struct {
 	// acc is written by the worker (relaxed merge) and read by the host only
 	// after a quiescence barrier, which orders the accesses.
 	acc shardAcc
+	// mqLat, when a collector is attached, is the shard child's "mq.lat"
+	// submission→completion histogram; the worker observes into it, and like
+	// acc the host reads it only behind a quiescence barrier.
+	mqLat *obs.Hist
 	// err is the first execution error, latched by the worker and surfaced
 	// by the host at the next barrier.
 	err error
@@ -160,6 +172,36 @@ type frontEnd struct {
 	sinceFlush int            // pages dispatched since the last epoch barrier
 	err        error          // sticky first error; surfaced by Serve/Enqueue
 	wg         sync.WaitGroup
+
+	// tele is the host-side queue telemetry, non-nil only while a collector
+	// is attached; teleCol/teleState keep the state paired with its collector
+	// across detach/re-attach.
+	tele      *feTele
+	teleCol   *obs.Collector
+	teleState *feTele
+}
+
+// feTele accumulates the front end's dispatch-side queue telemetry: doorbell
+// rings, pages per ring, the staged-batch high-water mark, and pages per
+// shard. It is defined on the dispatch side — identical in serial and
+// concurrent execution — so the merged metrics document stays bit-identical
+// across modes; consumer-side ring occupancy would be schedule-dependent. An
+// attached collector folds it in via an aux source.
+type feTele struct {
+	doorbells  int64
+	pages      int64
+	ringHW     int
+	shardPages []int64
+}
+
+func (t *feTele) fold(r *obs.Registry) {
+	r.Counter("mq.doorbells").Add(t.doorbells)
+	r.Counter("mq.doorbell.pages").Add(t.pages)
+	r.Gauge("mq.ring.highwater").Set(float64(t.ringHW))
+	v := r.CounterVec("mq.shard.pages", "shard", len(t.shardPages))
+	for i, p := range t.shardPages {
+		v.Add(i, p)
+	}
 }
 
 // resolveFTLShards maps a Config.FTLShards value to an effective shard
@@ -258,6 +300,17 @@ func (sh *ftlShard) buildMaps(geo, subGeo flash.Geometry, s int) {
 	}
 }
 
+// shardOfChannel maps every global channel to its owning FTL shard (shard s
+// owns the contiguous range [s*subC, (s+1)*subC)).
+func (fe *frontEnd) shardOfChannel() []int32 {
+	subC := fe.geo.Channels / int(fe.n)
+	out := make([]int32, fe.geo.Channels)
+	for ch := range out {
+		out[ch] = int32(ch / subC)
+	}
+	return out
+}
+
 // channelOfPlane computes the whole-device plane-to-channel map (packages
 // spread round-robin over channels), matching flash.Device.ChannelOfPlane.
 func (fe *frontEnd) channelOfPlane() []int32 {
@@ -337,6 +390,9 @@ func (fe *frontEnd) exec(sh *ftlShard, cmd pageCmd) {
 	// may be a future handle owned by the sub-device; materialize it here,
 	// on the shard's control goroutine, before publishing.
 	end = sh.dev.ResolveTime(end)
+	if sh.mqLat != nil {
+		sh.mqLat.Observe(end.Sub(cmd.arrival))
+	}
 	if cmd.slot >= 0 {
 		fe.slab.Resolve(int(cmd.slot), end)
 		return
@@ -386,7 +442,11 @@ func (fe *frontEnd) enqueue(c *Controller, r trace.Request, deferred bool) error
 	}
 	fe.sinceFlush += npages
 	if fe.serial {
-		return fe.serveSerial(c, r.Arrival, first, last, read)
+		if err := fe.serveSerial(c, r.Arrival, first, last, read); err != nil {
+			return err
+		}
+		fe.bell(npages)
+		return nil
 	}
 	// Relaxed merge folds single-page requests entirely on the worker; any
 	// consumer that needs the host-side arrival-order stream (latency hook,
@@ -404,6 +464,9 @@ func (fe *frontEnd) enqueue(c *Controller, r trace.Request, deferred bool) error
 		slot, future := fe.slab.NewSlot()
 		sh.sq.PushStaged(pageCmd{lpn: local, arrival: r.Arrival, slot: int32(slot), read: read})
 		c.pendEnds = append(c.pendEnds, future)
+		if fe.tele != nil {
+			fe.tele.shardPages[sh.idx]++
+		}
 	}
 	c.pend = append(c.pend, pendingDone{
 		arrival: r.Arrival,
@@ -415,15 +478,35 @@ func (fe *frontEnd) enqueue(c *Controller, r trace.Request, deferred bool) error
 	return nil
 }
 
-// bell counts staged page commands and rings every shard's doorbell once
-// enough have accumulated. Ring is a no-op on shards with nothing staged.
+// bell counts staged page commands and rings the doorbells once enough have
+// accumulated.
 func (fe *frontEnd) bell(pages int) {
 	fe.staged += pages
 	if fe.staged < doorbellBatch {
 		return
 	}
-	for _, sh := range fe.shards {
-		sh.sq.Ring()
+	fe.ring()
+}
+
+// ring publishes the staged batch: telemetry accounts it, and the concurrent
+// path stores every shard's ring tail (a no-op on shards with nothing
+// staged). Serial mode accounts the same batches without touching the rings,
+// so dispatch-side telemetry is identical in both execution modes.
+func (fe *frontEnd) ring() {
+	if fe.staged == 0 {
+		return
+	}
+	if fe.tele != nil {
+		fe.tele.doorbells++
+		fe.tele.pages += int64(fe.staged)
+		if fe.staged > fe.tele.ringHW {
+			fe.tele.ringHW = fe.staged
+		}
+	}
+	if !fe.serial && fe.running {
+		for _, sh := range fe.shards {
+			sh.sq.Ring()
+		}
 	}
 	fe.staged = 0
 }
@@ -449,6 +532,14 @@ func (fe *frontEnd) serveSerial(c *Controller, arrival sim.Time, first, last ftl
 			fe.err = err
 			return err
 		}
+		// With a collector attached the timing engine is off, so end is
+		// concrete and the observation matches the worker path's exactly.
+		if sh.mqLat != nil {
+			sh.mqLat.Observe(end.Sub(arrival))
+		}
+		if fe.tele != nil {
+			fe.tele.shardPages[sh.idx]++
+		}
 		c.pendEnds = append(c.pendEnds, end)
 		c.pendShards = append(c.pendShards, int8(sh.idx))
 	}
@@ -466,8 +557,8 @@ func (fe *frontEnd) serveSerial(c *Controller, arrival sim.Time, first, last ftl
 // synchronization edge, and the next ring publish hands the state back to
 // the worker.
 func (fe *frontEnd) barrier() {
+	fe.ring() // account (and, concurrent, publish) the partial batch
 	if !fe.serial && fe.running {
-		fe.staged = 0
 		for _, sh := range fe.shards {
 			sh.sq.AwaitQuiesced() // rings the doorbell itself
 		}
@@ -731,7 +822,8 @@ type gcVictimRecorder interface {
 // produce one coherent device-wide stream.
 type shardRecorder struct {
 	inner    obs.Recorder
-	victim   gcVictimRecorder // non-nil when inner reports GC victims
+	victim   gcVictimRecorder   // non-nil when inner reports GC victims
+	gcSpan   obs.GCSpanRecorder // non-nil when inner takes rich GC spans
 	planeMap []int32
 	chanMap  []int32
 }
@@ -740,6 +832,9 @@ func newShardRecorder(inner obs.Recorder, sh *ftlShard) *shardRecorder {
 	r := &shardRecorder{inner: inner, planeMap: sh.planeMap, chanMap: sh.chanMap}
 	if vr, ok := inner.(gcVictimRecorder); ok {
 		r.victim = vr
+	}
+	if sr, ok := inner.(obs.GCSpanRecorder); ok {
+		r.gcSpan = sr
 	}
 	return r
 }
@@ -768,13 +863,52 @@ func (r *shardRecorder) RecordGCVictim(valid int, at sim.Time) {
 	}
 }
 
-// setRecorder attaches (or detaches) observability across every shard.
-// Attaching forces serial execution — per-op trace events are inherently
-// ordered — and drops the shards' timing engines for the recorder's
-// lifetime, mirroring the single-FTL contract.
+func (r *shardRecorder) RecordGCSpan(plane int32, start, end sim.Time, policy string, moved, wasted int) {
+	if r.gcSpan != nil {
+		r.gcSpan.RecordGCSpan(r.planeMap[plane], start, end, policy, moved, wasted)
+		return
+	}
+	r.inner.RecordSpan(obs.SpanGC, r.planeMap[plane], start, end)
+}
+
+// setRecorder attaches (or detaches) observability across every shard. An
+// *obs.Collector stays concurrent: each shard gets a private child collector
+// (local indices, merged at quiescent points), the sub-devices' timing
+// engines drop for the recorder's lifetime (per-op events are ordered within
+// a shard), and the front end's dispatch-side queue telemetry switches on.
+// Any other Recorder has no merge semantics and keeps the old contract:
+// serial execution through a translating per-shard wrapper.
 func (fe *frontEnd) setRecorder(c *Controller, r obs.Recorder) {
 	fe.flush(c)
 	c.rec = r
+	if col, ok := r.(*obs.Collector); ok && col != nil {
+		subC := fe.geo.Channels / int(fe.n)
+		for _, sh := range fe.shards {
+			sh.dev.DisableSharding()
+			child := col.Shard(obs.ShardOptions{
+				Index:          sh.idx,
+				Planes:         len(sh.planeMap),
+				Channels:       subC,
+				ChannelOfPlane: sh.dev.ChannelOfPlane(),
+				PlaneMap:       sh.planeMap,
+				ChanMap:        sh.chanMap,
+			})
+			sh.dev.SetRecorder(child)
+			if o, ok := sh.f.(ftl.Observable); ok {
+				o.SetRecorder(child)
+			}
+			sh.mqLat = child.Registry().Hist("mq.lat")
+		}
+		col.SetUtilizationSource(fe.busyTimes)
+		if fe.teleCol != col {
+			fe.teleCol = col
+			fe.teleState = &feTele{shardPages: make([]int64, len(fe.shards))}
+			st := fe.teleState
+			col.AddAuxSource(func(reg *obs.Registry) { st.fold(reg) })
+		}
+		fe.tele = fe.teleState
+		return
+	}
 	if r != nil {
 		fe.serial = true
 		for _, sh := range fe.shards {
@@ -785,17 +919,16 @@ func (fe *frontEnd) setRecorder(c *Controller, r obs.Recorder) {
 				o.SetRecorder(wrapped)
 			}
 		}
-		if col, ok := r.(*obs.Collector); ok && col != nil {
-			col.SetUtilizationSource(fe.busyTimes)
-		}
 		return
 	}
+	fe.tele = nil
 	timingShards := resolveShards(c.cfg.Shards, fe.geo.Channels/int(fe.n))
 	for _, sh := range fe.shards {
 		sh.dev.SetRecorder(nil)
 		if o, ok := sh.f.(ftl.Observable); ok {
 			o.SetRecorder(nil)
 		}
+		sh.mqLat = nil
 		if timingShards > 1 {
 			sh.dev.EnableSharding(timingShards)
 		}

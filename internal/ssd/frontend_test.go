@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"testing"
@@ -344,11 +345,12 @@ func TestMQSnapshotFork(t *testing.T) {
 	}
 }
 
-// TestMQRecorderForcesSerial checks the observability contract on the front
-// end: attaching a recorder flips execution to the in-order serial mode (and
-// detaching restores concurrency), while per-op events flow through the
-// shard-index remapping into one coherent whole-device stream.
-func TestMQRecorderForcesSerial(t *testing.T) {
+// TestMQRecorderStaysConcurrent checks the shard-native observability
+// contract: attaching a collector keeps the front end concurrent (each shard
+// records into a private child merged at barriers), the merged registry
+// carries the device-wide and per-shard telemetry, and detaching leaves the
+// engine concurrent.
+func TestMQRecorderStaysConcurrent(t *testing.T) {
 	c := buildMQ(t, mqConfig(SchemeDLOOP, tinyGeometry(), 2, ""))
 	preconditionTiny(t, c)
 	if c.fe.serial {
@@ -356,11 +358,65 @@ func TestMQRecorderForcesSerial(t *testing.T) {
 	}
 	col := obs.NewCollector(c.ObsOptions())
 	c.SetRecorder(col)
+	if c.fe.serial {
+		t.Fatal("collector forced serial execution; shards must stay concurrent")
+	}
+	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 600, 3))); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRecorder(nil)
+	if c.fe.serial {
+		t.Fatal("front end serial after detaching recorder")
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reg := col.Registry()
+	if n := reg.Counter("flash.write.host").Value(); n == 0 {
+		t.Error("no host writes recorded through the shard children")
+	}
+	if n := reg.Counter("mq.doorbells").Value(); n == 0 {
+		t.Error("no doorbell telemetry recorded")
+	}
+	for s := 0; s < 2; s++ {
+		if n := reg.Hist("mq.lat.shard" + string(rune('0'+s))).N(); n == 0 {
+			t.Errorf("shard %d submission latency histogram empty", s)
+		}
+	}
+	if n := reg.Hist("mq.lat").N(); n == 0 {
+		t.Error("merged mq.lat histogram empty")
+	}
+	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 300, 4))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingRecorder is a minimal non-Collector recorder for the serial
+// fallback test.
+type countingRecorder struct{ ops, reqs int }
+
+func (r *countingRecorder) RecordOp(obs.Op)                                    { r.ops++ }
+func (r *countingRecorder) RecordEvent(obs.EventKind, sim.Time)                {}
+func (r *countingRecorder) RecordSpan(obs.SpanKind, int32, sim.Time, sim.Time) {}
+func (r *countingRecorder) RecordRequest(bool, sim.Time, sim.Time)             { r.reqs++ }
+
+// TestMQRecorderSerialFallback pins the contract for recorders that are not
+// collectors: with no merge semantics to lean on they still force serial
+// execution through the translating shard wrapper, and detaching restores
+// concurrency.
+func TestMQRecorderSerialFallback(t *testing.T) {
+	c := buildMQ(t, mqConfig(SchemeDLOOP, tinyGeometry(), 2, ""))
+	preconditionTiny(t, c)
+	rec := &countingRecorder{}
+	c.SetRecorder(rec)
 	if !c.fe.serial {
-		t.Fatal("recorder attached but front end still concurrent")
+		t.Fatal("non-Collector recorder attached but front end still concurrent")
 	}
 	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 300, 3))); err != nil {
 		t.Fatal(err)
+	}
+	if rec.ops == 0 || rec.reqs == 0 {
+		t.Fatalf("fallback recorder saw %d ops, %d requests; want both > 0", rec.ops, rec.reqs)
 	}
 	c.SetRecorder(nil)
 	if c.fe.serial {
@@ -368,6 +424,55 @@ func TestMQRecorderForcesSerial(t *testing.T) {
 	}
 	if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 300, 4))); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMQObservedMetricsDifferential is the telemetry half of the
+// differential suite: for every scheme, a fully observed concurrent
+// deterministic-merge run and a serially executed run of the identical shard
+// layout must produce byte-identical metrics.json and trace-event documents.
+// Everything the collector gathers — per-op counters and latency histograms,
+// per-plane/channel vectors, per-shard mq.lat and gc.pause distributions,
+// snapshot series, queue telemetry, trace buffers — is covered by the byte
+// comparison.
+func TestMQObservedMetricsDifferential(t *testing.T) {
+	for _, scheme := range allSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			run := func(serial bool) (metrics, traceDoc []byte) {
+				c := buildMQ(t, mqConfig(scheme, tiny8Geometry(), 4, MergeDeterministic))
+				if serial {
+					c.fe.flush(c)
+					c.fe.serial = true
+				}
+				preconditionTiny(t, c)
+				var traceBuf bytes.Buffer
+				o := c.ObsOptions()
+				o.TraceEvents = &traceBuf
+				o.SnapshotInterval = 500 * sim.Microsecond
+				col := obs.NewCollector(o)
+				c.SetRecorder(col)
+				if _, err := c.Run(trace.NewSliceReader(tinyWorkload(t, c, 1200, 13))); err != nil {
+					t.Fatal(err)
+				}
+				c.SetRecorder(nil)
+				if err := col.Close(); err != nil {
+					t.Fatal(err)
+				}
+				var m bytes.Buffer
+				if err := col.WriteMetrics(&m); err != nil {
+					t.Fatal(err)
+				}
+				return m.Bytes(), traceBuf.Bytes()
+			}
+			serM, serT := run(true)
+			parM, parT := run(false)
+			if !bytes.Equal(serM, parM) {
+				t.Errorf("metrics.json differs between serial and concurrent runs\nserial:\n%s\nconcurrent:\n%s", serM, parM)
+			}
+			if !bytes.Equal(serT, parT) {
+				t.Error("trace-event document differs between serial and concurrent runs")
+			}
+		})
 	}
 }
 

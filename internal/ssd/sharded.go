@@ -122,6 +122,9 @@ func (c *Controller) Enqueue(r trace.Request) error {
 	}
 	if !c.par {
 		_, err := c.Serve(r)
+		if err == nil && c.pulse != nil {
+			c.pulse()
+		}
 		return err
 	}
 	if err := c.serveDeferred(r); err != nil {
@@ -185,6 +188,9 @@ func (c *Controller) serveDeferred(r trace.Request) error {
 func (c *Controller) Flush() {
 	if c.fe != nil {
 		c.fe.flush(c)
+		if c.pulse != nil {
+			c.pulse()
+		}
 		return
 	}
 	if !c.par {
@@ -223,6 +229,9 @@ func (c *Controller) Flush() {
 	c.pend = c.pend[:0]
 	c.pendEnds = c.pendEnds[:0]
 	c.dev.ResetTimingEpoch()
+	if c.pulse != nil {
+		c.pulse()
+	}
 }
 
 // discardPending drops deferred completions without folding them (used when

@@ -360,3 +360,60 @@ func TestLatencyHistMergeMatchesSequential(t *testing.T) {
 		t.Fatalf("merge into empty N=%d, want %d", dst.N(), a.N())
 	}
 }
+
+func TestTimeSeriesMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole, _ := NewTimeSeries(1 * sim.Second)
+	a, _ := NewTimeSeries(1 * sim.Second)
+	b, _ := NewTimeSeries(1 * sim.Second)
+	for i := 0; i < 2000; i++ {
+		at := sim.Time(rng.Int63n(int64(8 * sim.Second)))
+		v := rng.Float64() * 10
+		whole.Add(at, v)
+		// Split deterministically; merging a (longer) into b (shorter) and
+		// vice versa must both reconstruct the whole.
+		if i%4 == 0 {
+			b.Add(at, v)
+		} else {
+			a.Add(at, v)
+		}
+	}
+	check := func(m *TimeSeries) {
+		t.Helper()
+		if m.Buckets() != whole.Buckets() {
+			t.Fatalf("merged buckets = %d, want %d", m.Buckets(), whole.Buckets())
+		}
+		for i := 0; i < whole.Buckets(); i++ {
+			mb, wb := m.Bucket(i), whole.Bucket(i)
+			if mb.N() != wb.N() || math.Abs(mb.Mean()-wb.Mean()) > 1e-9 || mb.Max() != wb.Max() {
+				t.Errorf("bucket %d: merged n=%d mean=%v max=%v, want n=%d mean=%v max=%v",
+					i, mb.N(), mb.Mean(), mb.Max(), wb.N(), wb.Mean(), wb.Max())
+			}
+		}
+	}
+	m1 := a.Clone()
+	m1.Merge(b)
+	check(m1)
+	m2 := b.Clone()
+	m2.Merge(a)
+	check(m2)
+
+	// Merging nil or an empty series is a no-op.
+	before := m1.Buckets()
+	m1.Merge(nil)
+	empty, _ := NewTimeSeries(1 * sim.Second)
+	m1.Merge(empty)
+	if m1.Buckets() != before {
+		t.Fatal("no-op merge changed bucket count")
+	}
+
+	// Mismatched bucket widths are a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bucket-width mismatch did not panic")
+		}
+	}()
+	other, _ := NewTimeSeries(2 * sim.Second)
+	other.Add(0, 1)
+	m1.Merge(other)
+}

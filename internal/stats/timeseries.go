@@ -63,6 +63,25 @@ func (ts *TimeSeries) Clone() *TimeSeries {
 	return out
 }
 
+// Merge folds another series into this one bucket by bucket, growing to
+// cover the longer span. Bucket widths must match — merging differently
+// bucketed series would smear samples across boundaries — so a mismatch
+// panics as a programming error.
+func (ts *TimeSeries) Merge(o *TimeSeries) {
+	if o == nil || len(o.buckets) == 0 {
+		return
+	}
+	if o.bucket != ts.bucket {
+		panic(fmt.Sprintf("stats: merging TimeSeries with bucket %v into %v", o.bucket, ts.bucket))
+	}
+	for len(ts.buckets) < len(o.buckets) {
+		ts.buckets = append(ts.buckets, Welford{})
+	}
+	for i, b := range o.buckets {
+		ts.buckets[i].Merge(b)
+	}
+}
+
 // Render writes "start_seconds n mean max" rows for every non-empty bucket.
 func (ts *TimeSeries) Render(w io.Writer) error {
 	for i, b := range ts.buckets {

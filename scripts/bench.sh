@@ -76,7 +76,7 @@ run_bench() {
         exit 1
     fi
 }
-run_bench -run '^$' -bench '^(BenchmarkSimulateThroughput(Observed)?|BenchmarkShardedThroughput|BenchmarkGCHeavy)$' \
+run_bench -run '^$' -bench '^(BenchmarkSimulateThroughput(Observed(MQ)?)?|BenchmarkShardedThroughput|BenchmarkGCHeavy)$' \
     -benchmem -benchtime "$benchtime" -count "$count" .
 run_bench -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
     ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/workload/ \
