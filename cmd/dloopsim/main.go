@@ -26,24 +26,27 @@ import (
 
 func main() {
 	var (
-		ftlName   = flag.String("ftl", "DLOOP", "FTL scheme: DLOOP|DFTL|FAST|BAST|PureMap|PureMap-striped")
-		capacity  = flag.Int("capacity", 8, "SSD capacity in GB (4/8/16/32/64)")
-		pageKB    = flag.Int("page", 2, "page size in KB (2/4/8/16)")
-		extraPct  = flag.Float64("extra", 0.03, "extra blocks as a fraction of data blocks")
-		traceName = flag.String("trace", "Financial1", "synthetic workload: Financial1|Financial2|TPC-C|Exchange|Build")
-		traceFile = flag.String("tracefile", "", "replay a trace file instead of a synthetic workload")
-		format    = flag.String("format", "disksim", "trace file format: disksim|spc")
-		requests  = flag.Int("requests", 200_000, "synthetic requests to replay")
-		seed      = flag.Int64("seed", 42, "workload seed")
-		footprint = flag.Int64("footprint", 0, "precondition footprint in MiB (0 = workload default)")
-		nocb      = flag.Bool("no-copyback", false, "DLOOP E5 ablation: external GC moves")
-		adaptive  = flag.Bool("adaptive-gc", false, "DLOOP E7 extension: hot-plane-aware GC thresholds")
-		stripeBy  = flag.String("stripe-by", "", "DLOOP E8 ablation: plane|die|chip|channel")
-		gcPolicy  = flag.String("gc-policy", "", "GC victim policy: greedy|costbenefit|windowed|fifo (empty = scheme default)")
-		bufPages  = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
-		shards    = flag.String("shards", "1", "timing shards: N workers (1 = sequential), or 'auto' for one per channel; results are bit-identical either way")
-		ftlShards = flag.String("ftl-shards", "1", "concurrent FTL shards: the logical space splits LPN mod N over N independent FTLs (1 = single FTL), or 'auto' for one per channel on 8+ channel shapes")
-		merge     = flag.String("merge", "", "completion merge mode with -ftl-shards > 1: deterministic|relaxed (empty = deterministic)")
+		ftlName    = flag.String("ftl", "DLOOP", "FTL scheme: DLOOP|DFTL|FAST|BAST|PureMap|PureMap-striped")
+		capacity   = flag.Int("capacity", 8, "SSD capacity in GB (4/8/16/32/64)")
+		pageKB     = flag.Int("page", 2, "page size in KB (2/4/8/16)")
+		extraPct   = flag.Float64("extra", 0.03, "extra blocks as a fraction of data blocks")
+		traceName  = flag.String("trace", "Financial1", "synthetic workload: Financial1|Financial2|TPC-C|Exchange|Build")
+		traceFile  = flag.String("tracefile", "", "replay a trace file instead of a synthetic workload")
+		format     = flag.String("format", "disksim", "trace file format: disksim|spc")
+		requests   = flag.Int("requests", 200_000, "synthetic requests to replay")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		footprint  = flag.Int64("footprint", 0, "precondition footprint in MiB (0 = workload default)")
+		nocb       = flag.Bool("no-copyback", false, "DLOOP E5 ablation: external GC moves")
+		adaptive   = flag.Bool("adaptive-gc", false, "DLOOP E7 extension: hot-plane-aware GC thresholds")
+		stripeBy   = flag.String("stripe-by", "", "DLOOP E8 ablation: plane|die|chip|channel")
+		gcPolicy   = flag.String("gc-policy", "", "GC victim policy: greedy|costbenefit|windowed|fifo (empty = scheme default)")
+		bufPages   = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
+		shards     = flag.String("shards", "1", "timing shards: N workers (1 = sequential), or 'auto' for one per channel; results are bit-identical either way")
+		ftlShards  = flag.String("ftl-shards", "1", "concurrent FTL shards: the logical space splits LPN mod N over N independent FTLs (1 = single FTL), or 'auto' for one per channel on 8+ channel shapes")
+		merge      = flag.String("merge", "", "completion merge mode with -ftl-shards > 1: deterministic|relaxed (empty = deterministic)")
+		epochPages = flag.Int("epoch-pages", 0, "pages per pipeline epoch on the multi-queue front end (0 = default 4096); results are bit-identical across values in deterministic merge")
+		doorbell   = flag.Int("doorbell-batch", 0, "staged page commands per doorbell ring on the multi-queue front end (0 = default 64)")
+		pipeDepth  = flag.Int("pipeline-depth", 0, "multi-queue epoch pipelining: 2 = double-buffered fold overlap (default), 1 = stop-the-world barrier per epoch")
 
 		metricsOut  = flag.String("metrics-out", "", "write the run's observability metrics.json to this file")
 		traceEvents = flag.String("trace-events", "", "write a Chrome trace-event/Perfetto timeline of every flash op to this file")
@@ -91,6 +94,9 @@ func main() {
 		Shards:          nShards,
 		FTLShards:       nFTLShards,
 		Merge:           *merge,
+		EpochPages:      *epochPages,
+		DoorbellBatch:   *doorbell,
+		PipelineDepth:   *pipeDepth,
 	}
 
 	ob, err := newObserver(*metricsOut, *traceEvents, *snapshotMs, *listen)

@@ -28,18 +28,19 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig8|fig9|fig10|headline|ablation|parity|striping|hotplane|gcpolicy|all")
-		requests  = flag.Int("requests", 400_000, "requests per run")
-		seed      = flag.Int64("seed", 42, "workload seed")
-		scale     = flag.Float64("scale", 1.0, "shrink device+footprint for quick runs (0,1]")
-		workers   = flag.Int("workers", 0, "concurrent runs (0 = NumCPU divided by -shards)")
-		cells     = flag.Int("parallel-cells", 0, "explicit worker-pool size; overrides -workers (0 = derive)")
-		shards    = flag.String("shards", "1", "timing shards per cell: N workers (1 = sequential), or 'auto' for one per channel; results stay bit-identical")
-		ftlShards = flag.String("ftl-shards", "1", "concurrent FTL shards per cell: LPN mod N over N independent FTLs (1 = single FTL), or 'auto' for one per channel on 8+ channel shapes")
-		merge     = flag.String("merge", "", "completion merge mode with -ftl-shards > 1: deterministic|relaxed (empty = deterministic)")
-		outDir    = flag.String("out", "", "directory for CSV output (optional)")
-		quiet     = flag.Bool("q", false, "suppress per-run progress")
-		noFork    = flag.Bool("no-fork", false, "disable warm-up checkpoint sharing; every cell builds and preconditions its own simulator")
+		exp        = flag.String("exp", "all", "experiment: fig8|fig9|fig10|headline|ablation|parity|striping|hotplane|gcpolicy|all")
+		requests   = flag.Int("requests", 400_000, "requests per run")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		scale      = flag.Float64("scale", 1.0, "shrink device+footprint for quick runs (0,1]")
+		workers    = flag.Int("workers", 0, "concurrent runs (0 = NumCPU divided by -shards)")
+		cells      = flag.Int("parallel-cells", 0, "explicit worker-pool size; overrides -workers (0 = derive)")
+		shards     = flag.String("shards", "1", "timing shards per cell: N workers (1 = sequential), or 'auto' for one per channel; results stay bit-identical")
+		ftlShards  = flag.String("ftl-shards", "1", "concurrent FTL shards per cell: LPN mod N over N independent FTLs (1 = single FTL), or 'auto' for one per channel on 8+ channel shapes")
+		merge      = flag.String("merge", "", "completion merge mode with -ftl-shards > 1: deterministic|relaxed (empty = deterministic)")
+		epochPages = flag.Int("epoch-pages", 0, "pages per multi-queue pipeline epoch (0 = default 4096); deterministic results are bit-identical across values")
+		outDir     = flag.String("out", "", "directory for CSV output (optional)")
+		quiet      = flag.Bool("q", false, "suppress per-run progress")
+		noFork     = flag.Bool("no-fork", false, "disable warm-up checkpoint sharing; every cell builds and preconditions its own simulator")
 
 		metricsOut  = flag.String("metrics-out", "", "directory receiving one metrics.json per run")
 		traceEvents = flag.String("trace-events", "", "directory receiving one Chrome trace-event document per run")
@@ -77,6 +78,7 @@ func main() {
 	opt := dloop.Options{
 		Requests: *requests, Seed: *seed, Scale: *scale, Workers: *workers,
 		ParallelCells: *cells, Shards: nShards, FTLShards: nFTLShards, Merge: *merge,
+		EpochPages: *epochPages,
 		MetricsDir: *metricsOut, TraceDir: *traceEvents, SnapshotIntervalMs: *snapshotMs,
 		NoFork: *noFork,
 	}

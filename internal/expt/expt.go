@@ -63,6 +63,11 @@ type Options struct {
 	// merges per-shard accumulators (same counters/histograms, running means
 	// re-associated).
 	Merge string
+	// EpochPages sets the multi-queue front end's pipeline epoch length in
+	// pages for every job that does not set its own (0 keeps the default;
+	// see ssd.Config.EpochPages). Deterministic-merge results are
+	// bit-identical across values, so it is safe to sweep.
+	EpochPages int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
 	// Scale shrinks workload footprints and request counts together for
@@ -364,6 +369,13 @@ func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 		for i := range jobs {
 			if jobs[i].cfg.Merge == "" {
 				jobs[i].cfg.Merge = opt.Merge
+			}
+		}
+	}
+	if opt.EpochPages != 0 {
+		for i := range jobs {
+			if jobs[i].cfg.EpochPages == 0 {
+				jobs[i].cfg.EpochPages = opt.EpochPages
 			}
 		}
 	}

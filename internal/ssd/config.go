@@ -104,6 +104,25 @@ type Config struct {
 	// floating-point accumulation order for less host-side work (histograms
 	// and counters still merge exactly).
 	Merge string
+	// EpochPages bounds one pipeline epoch on the multi-queue front end:
+	// after this many parked page completions the host hands the epoch to
+	// the shards and folds the previous epoch's completions while they
+	// execute (see frontend.go). 0 selects the default (4096). Results are
+	// bit-identical across epoch lengths in deterministic merge mode; the
+	// knob trades fold granularity against slab footprint. Exposed as
+	// -epoch-pages in the commands.
+	EpochPages int
+	// DoorbellBatch is how many staged page commands accumulate before the
+	// front end rings the shard doorbells (0 = default 64). A producer-side
+	// batching knob; results are identical across values.
+	DoorbellBatch int
+	// PipelineDepth selects the multi-queue front end's epoch pipelining:
+	// 2 (the default for 0) double-buffers the completion slabs so the host
+	// folds epoch K while the shards execute epoch K+1; 1 restores the
+	// stop-the-world barrier at every epoch close (the pre-pipeline
+	// behavior, kept for comparison and tests). Results are bit-identical
+	// either way.
+	PipelineDepth int
 
 	// Geometry, when non-nil, overrides the capacity-derived geometry
 	// entirely (tests use miniature devices).
@@ -317,6 +336,15 @@ func Build(cfg Config) (*Controller, error) {
 	case "", MergeDeterministic, MergeRelaxed:
 	default:
 		return nil, fmt.Errorf("ssd: unknown merge mode %q (want %q or %q)", cfg.Merge, MergeDeterministic, MergeRelaxed)
+	}
+	if cfg.PipelineDepth < 0 || cfg.PipelineDepth > 2 {
+		return nil, fmt.Errorf("ssd: pipeline depth %d out of range (want 1 or 2)", cfg.PipelineDepth)
+	}
+	if cfg.EpochPages < 0 {
+		return nil, fmt.Errorf("ssd: negative EpochPages %d", cfg.EpochPages)
+	}
+	if cfg.DoorbellBatch < 0 {
+		return nil, fmt.Errorf("ssd: negative DoorbellBatch %d", cfg.DoorbellBatch)
 	}
 	geo, extra, err := resolveGeometry(cfg)
 	if err != nil {

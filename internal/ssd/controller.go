@@ -37,6 +37,11 @@ type Controller struct {
 	fe *frontEnd
 
 	sectorsPerPage int64
+	// pageShift replaces pageSpan's divisions with shifts when the page
+	// holds a power-of-two sector count (it always does for the Table I
+	// page sizes); pagePow2 gates the fast path.
+	pagePow2  bool
+	pageShift uint
 
 	resp      stats.Welford // milliseconds
 	readResp  stats.Welford
@@ -53,16 +58,14 @@ type Controller struct {
 
 	// Sharded-engine state (see sharded.go). par mirrors dev.Sharded() so
 	// the hot path branches on one bool; pend/pendEnds park per-request
-	// completion records between epoch barriers; lastRT is the response time
-	// most recently folded by Flush, which Serve returns in sharded mode.
+	// completion records between epoch barriers (the multi-queue front end
+	// parks in its own double-buffered epochs instead — see feEpoch); lastRT
+	// is the response time most recently folded by Flush, which Serve
+	// returns in sharded mode.
 	par      bool
 	pend     []pendingDone
 	pendEnds []sim.Time
-	// pendShards tags each pendEnds entry with its FTL shard so the
-	// front end's serial mode can resolve timing-engine futures against the
-	// right sub-device. Unused (empty) on the other paths.
-	pendShards []int8
-	lastRT     sim.Duration
+	lastRT   sim.Duration
 
 	// latHook, when set, receives every request's response time in arrival
 	// order on both engines; the differential tests use it to compare the
@@ -86,17 +89,31 @@ func newController(dev *flash.Device, f ftl.FTL, cfg Config) *Controller {
 	if cfg.BufferPages > 0 {
 		c.buffer = newWriteBuffer(cfg.BufferPages)
 	}
+	c.initPageSpan()
 	return c
+}
+
+// initPageSpan precomputes the page-span shift when sectors-per-page is a
+// power of two.
+func (c *Controller) initPageSpan() {
+	if spp := c.sectorsPerPage; spp > 0 && spp&(spp-1) == 0 {
+		c.pagePow2 = true
+		for int64(1)<<c.pageShift < spp {
+			c.pageShift++
+		}
+	}
 }
 
 // newFEController wraps a multi-queue front end in a Controller. dev and f
 // stay nil; the front end owns one device and FTL per shard.
 func newFEController(fe *frontEnd, cfg Config) *Controller {
-	return &Controller{
+	c := &Controller{
 		fe:             fe,
 		cfg:            cfg,
 		sectorsPerPage: int64(fe.geo.PageSize / trace.SectorSize),
 	}
+	c.initPageSpan()
+	return c
 }
 
 // EnableTimeSeries records per-request response times bucketed by arrival
@@ -252,8 +269,13 @@ func (c *Controller) SetRecorder(r obs.Recorder) {
 // epoch frequency.
 func (c *Controller) SetPulse(fn func()) { c.pulse = fn }
 
-// pageSpan returns the logical pages touched by a sector range.
+// pageSpan returns the logical pages touched by a sector range. Callers
+// validate the request first, so the sector indices are non-negative and
+// the shift fast path agrees with the division.
 func (c *Controller) pageSpan(r trace.Request) (first, last ftl.LPN) {
+	if c.pagePow2 {
+		return ftl.LPN(r.LBN >> c.pageShift), ftl.LPN((r.End() - 1) >> c.pageShift)
+	}
 	first = ftl.LPN(r.LBN / c.sectorsPerPage)
 	last = ftl.LPN((r.End() - 1) / c.sectorsPerPage)
 	return first, last
@@ -438,10 +460,37 @@ func (c *Controller) BufferStats() (dirty int, hitsW, hitsR, flushes int64) {
 	return c.buffer.Len(), c.buffer.hitsW, c.buffer.hitsR, c.buffer.flushes
 }
 
+// runChunk is how many requests Run pulls from a batching reader per
+// EnqueueBatch call on the multi-queue engine.
+const runChunk = 256
+
 // Run replays every request from the reader and returns the results. On a
-// sharded controller it pipelines flushEvery requests per epoch barrier, so
-// the timing workers overlap the FTL's decision-making.
+// sharded controller requests pipeline between epoch barriers, so the
+// workers overlap the FTL's decision-making; on a multi-queue controller a
+// reader that also implements trace.BatchReader feeds the batch dispatch
+// stage in runChunk chunks, keeping classification off the staging path.
 func (c *Controller) Run(r trace.Reader) (Result, error) {
+	if br, ok := r.(trace.BatchReader); ok && c.fe != nil {
+		buf := make([]trace.Request, runChunk)
+		for {
+			n, err := br.NextN(buf)
+			if n > 0 {
+				if derr := c.EnqueueBatch(buf[:n]); derr != nil {
+					return Result{}, derr
+				}
+			}
+			if err != nil {
+				if isEOF(err) {
+					break
+				}
+				return Result{}, err
+			}
+			if n == 0 {
+				break
+			}
+		}
+		return c.Result(), nil
+	}
 	for {
 		req, err := r.Next()
 		if err != nil {
@@ -455,6 +504,23 @@ func (c *Controller) Run(r trace.Reader) (Result, error) {
 		}
 	}
 	return c.Result(), nil
+}
+
+// EnqueueBatch dispatches a chunk of requests on the pipelined path. On a
+// multi-queue controller the chunk flows through the batch dispatch stage —
+// every request is classified (validated, page-spanned, bounds-checked)
+// before any is staged, so an error means nothing from the chunk was
+// dispatched. On the other engines it is Enqueue in a loop.
+func (c *Controller) EnqueueBatch(reqs []trace.Request) error {
+	if c.fe != nil {
+		return c.fe.enqueueBatch(c, reqs)
+	}
+	for i := range reqs {
+		if err := c.Enqueue(reqs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func isEOF(err error) bool { return errors.Is(err, io.EOF) }

@@ -3,6 +3,7 @@ package ssd
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
@@ -33,8 +34,11 @@ import (
 // The host side is an NVMe-style multi-queue front end: one submission ring
 // (sim.SPSC) per shard carrying fixed-size page commands, with doorbells
 // batched (PushStaged/Ring) so the producer publishes many commands per tail
-// store. Completions resolve into a future-time slab the host reads back at
-// epoch barriers.
+// store. Completions resolve into future-time slabs double-buffered across
+// epochs: while the shards execute epoch K+1's commands, the host folds
+// epoch K's parked completions and recycles its slab (see feEpoch/advance),
+// so the stop-the-world barrier survives only at true quiescent points
+// (statistics readers, checkpoints, recorder switches).
 //
 // Two completion-merge modes:
 //
@@ -82,10 +86,20 @@ const (
 // the 4-channel bench shapes regress, the 8-channel ones win.
 const autoShardMinChannels = 8
 
-// doorbellBatch is how many staged page commands the front end accumulates
-// before ringing the shard doorbells. Barriers ring unconditionally, so
-// batching only defers visibility, never loses it.
+// doorbellBatch is the default for Config.DoorbellBatch: how many staged
+// page commands the front end accumulates before ringing the shard
+// doorbells. Barriers ring unconditionally, so batching only defers
+// visibility, never loses it.
 const doorbellBatch = 64
+
+// defaultEpochPages is the default for Config.EpochPages: how many parked
+// page completions close a pipeline epoch. Large enough to amortize the
+// handoff, small enough that two in-flight epochs stay cache-resident.
+const defaultEpochPages = 4096
+
+// maxEpochPages caps Config.EpochPages well below a FutureSlab's 2^26
+// slots so an epoch can never overflow its completion slab.
+const maxEpochPages = 1 << 22
 
 // feQueueCap bounds each shard's submission ring. Epoch flushes keep
 // occupancy far below this; the cap is backpressure against a runaway
@@ -96,7 +110,7 @@ const feQueueCap = 1 << 13
 type pageCmd struct {
 	lpn     int64    // shard-local logical page
 	arrival sim.Time // request arrival (the response-time origin)
-	slot    int32    // completion slot in the front end's slab; -1 = fold on the worker
+	slot    int32    // slab slot<<1 | epoch-buffer parity; -1 = fold on the worker
 	read    bool
 }
 
@@ -113,6 +127,39 @@ func (a *shardAcc) clone() shardAcc {
 	out := *a
 	out.hist = a.hist.Clone()
 	return out
+}
+
+// feEpoch is one stage of the front end's two-deep completion pipeline: a
+// future slab plus the requests parked against it. While the shards execute
+// the current epoch's commands, the host folds the previous epoch's — those
+// slots are a full epoch old, so Wait almost never spins — and then recycles
+// that epoch's slab for the epoch after next. Ownership alternates along the
+// quiescence protocol: the host allocates slots and appends parked records,
+// exactly one worker resolves each slot, and the host reads slots back only
+// while folding, after which no live handle survives into the recycled slab.
+type feEpoch struct {
+	slab   sim.FutureSlab
+	pend   []pendingDone // parked requests, in arrival order
+	ends   []sim.Time    // per-page completion times or future handles
+	shards []int8        // serial mode: owning shard per parked page
+	serial bool          // parked by serial (inline) execution
+	pages  int           // page commands dispatched into this epoch
+}
+
+func (ep *feEpoch) reset() {
+	ep.pend = ep.pend[:0]
+	ep.ends = ep.ends[:0]
+	ep.shards = ep.shards[:0]
+	ep.slab.Reset()
+	ep.pages = 0
+}
+
+// dispReq is one classified request in the batch dispatch stage: validated,
+// page-spanned, and bounds-checked, ready to stage onto the rings.
+type dispReq struct {
+	arrival     sim.Time
+	first, last ftl.LPN
+	read        bool
 }
 
 // ftlShard is one control-plane shard: a private sub-device, FTL, and GC
@@ -160,18 +207,41 @@ type frontEnd struct {
 	serial bool
 	// running is true while the worker goroutines are alive.
 	running bool
-	// pendSerial records which execution mode produced the currently parked
-	// completions: serial parks device times, concurrent parks slab slots.
-	pendSerial bool
 	// timingSharded is true when each sub-device runs the Config.Shards
 	// timing engine underneath its shard worker.
 	timingSharded bool
 
-	slab       sim.FutureSlab // completion slots (host allocates, workers resolve)
-	staged     int            // page commands staged since the last doorbell
-	sinceFlush int            // pages dispatched since the last epoch barrier
-	err        error          // sticky first error; surfaced by Serve/Enqueue
-	wg         sync.WaitGroup
+	// epochs double-buffers the completion pipeline (see feEpoch): cur is
+	// the epoch being filled, 1-cur the previous epoch, whose completions
+	// fold while the shards execute. With depth 1 the pipeline degenerates
+	// to the old stop-the-world barrier at every epoch close.
+	epochs [2]feEpoch
+	cur    int
+
+	// epochPages, doorbell, and depth are the resolved Config tunables
+	// (EpochPages, DoorbellBatch, PipelineDepth).
+	epochPages int
+	doorbell   int
+	depth      int
+
+	// shardMask/shardShift route pages to shards without integer division
+	// when the shard count is a power of two (channel counts almost always
+	// are).
+	shardPow2  bool
+	shardMask  int64
+	shardShift uint
+
+	staged     int   // page commands staged since the last doorbell
+	sinceFlush int   // pages dispatched since the last full barrier
+	err        error // sticky first error; surfaced by Serve/Enqueue
+	// failed is raised by any worker that latches an execution error, so
+	// the host can escalate to a full barrier at the next epoch handoff
+	// instead of dispatching the rest of the run into a dead shard.
+	failed atomic.Bool
+	wg     sync.WaitGroup
+
+	// disp is the batch dispatch stage's classification scratch.
+	disp []dispReq
 
 	// tele is the host-side queue telemetry, non-nil only while a collector
 	// is attached; teleCol/teleState keep the state paired with its collector
@@ -243,6 +313,7 @@ func newFrontEnd(geo flash.Geometry, timing flash.Timing, n int, cfg Config,
 		geo:     geo,
 		relaxed: cfg.Merge == MergeRelaxed,
 	}
+	fe.initTunables(cfg)
 	timingShards := resolveShards(cfg.Shards, subGeo.Channels)
 	fe.timingSharded = timingShards > 1
 	for s := 0; s < n; s++ {
@@ -274,6 +345,33 @@ func newFrontEnd(geo flash.Geometry, timing flash.Timing, n int, cfg Config,
 	fe.cap = fe.subCap * ftl.LPN(n)
 	fe.start()
 	return fe, nil
+}
+
+// initTunables resolves the pipeline knobs from cfg (zero values select the
+// defaults) and precomputes the division-free shard route.
+func (fe *frontEnd) initTunables(cfg Config) {
+	fe.epochPages = cfg.EpochPages
+	if fe.epochPages <= 0 {
+		fe.epochPages = defaultEpochPages
+	}
+	if fe.epochPages > maxEpochPages {
+		fe.epochPages = maxEpochPages
+	}
+	fe.doorbell = cfg.DoorbellBatch
+	if fe.doorbell <= 0 {
+		fe.doorbell = doorbellBatch
+	}
+	fe.depth = cfg.PipelineDepth
+	if fe.depth <= 0 {
+		fe.depth = 2
+	}
+	if fe.n&(fe.n-1) == 0 {
+		fe.shardPow2 = true
+		fe.shardMask = fe.n - 1
+		for int64(1)<<fe.shardShift < fe.n {
+			fe.shardShift++
+		}
+	}
 }
 
 // buildMaps computes the shard-local -> global index translations. Shard s
@@ -364,11 +462,12 @@ func (fe *frontEnd) worker(sh *ftlShard) {
 // exec runs one page command against the shard's FTL. After an error the
 // shard keeps consuming commands without executing them (resolving their
 // slots so the host never blocks); the host surfaces the latched error at
-// the next barrier.
+// the next barrier. A command's slot carries the epoch-buffer parity in its
+// low bit, naming which of the two in-flight slabs owns the completion.
 func (fe *frontEnd) exec(sh *ftlShard, cmd pageCmd) {
 	if sh.err != nil {
 		if cmd.slot >= 0 {
-			fe.slab.Resolve(int(cmd.slot), cmd.arrival)
+			fe.epochs[cmd.slot&1].slab.Resolve(int(cmd.slot>>1), cmd.arrival)
 		}
 		return
 	}
@@ -381,8 +480,9 @@ func (fe *frontEnd) exec(sh *ftlShard, cmd pageCmd) {
 	}
 	if err != nil {
 		sh.err = err
+		fe.failed.Store(true)
 		if cmd.slot >= 0 {
-			fe.slab.Resolve(int(cmd.slot), cmd.arrival)
+			fe.epochs[cmd.slot&1].slab.Resolve(int(cmd.slot>>1), cmd.arrival)
 		}
 		return
 	}
@@ -394,7 +494,7 @@ func (fe *frontEnd) exec(sh *ftlShard, cmd pageCmd) {
 		sh.mqLat.Observe(end.Sub(cmd.arrival))
 	}
 	if cmd.slot >= 0 {
-		fe.slab.Resolve(int(cmd.slot), end)
+		fe.epochs[cmd.slot&1].slab.Resolve(int(cmd.slot>>1), end)
 		return
 	}
 	rt := end.Sub(cmd.arrival)
@@ -414,14 +514,18 @@ func (fe *frontEnd) exec(sh *ftlShard, cmd pageCmd) {
 
 // shardOf returns the shard owning a logical page and its shard-local page.
 func (fe *frontEnd) shardOf(lpn ftl.LPN) (*ftlShard, int64) {
-	return fe.shards[int64(lpn)%fe.n], int64(lpn) / fe.n
+	l := int64(lpn)
+	if fe.shardPow2 {
+		return fe.shards[l&fe.shardMask], l >> fe.shardShift
+	}
+	return fe.shards[l%fe.n], l / fe.n
 }
 
-// enqueue dispatches one request's pages to their shards. With
-// deferred=false (the synchronous Serve path) the request always parks a
-// completion record so the immediately following Flush can return its
-// response time; with deferred=true, relaxed merge folds single-page
-// requests on the workers and parks nothing.
+// enqueue classifies and dispatches one request. With deferred=false (the
+// synchronous Serve path) the request always parks a completion record so
+// the immediately following Flush can return its response time; with
+// deferred=true, relaxed merge folds single-page requests on the workers
+// and parks nothing.
 func (fe *frontEnd) enqueue(c *Controller, r trace.Request, deferred bool) error {
 	if fe.err != nil {
 		return fe.err
@@ -433,16 +537,56 @@ func (fe *frontEnd) enqueue(c *Controller, r trace.Request, deferred bool) error
 	if err := ftl.CheckLPN(last, fe.cap); err != nil {
 		return fmt.Errorf("ssd: request [%d,%d) exceeds device: %w", r.LBN, r.End(), err)
 	}
-	read := r.Op == trace.OpRead
-	npages := int(last - first + 1)
-	if read {
+	d := dispReq{arrival: r.Arrival, first: first, last: last, read: r.Op == trace.OpRead}
+	return fe.dispatch(c, d, deferred)
+}
+
+// enqueueBatch is the batch dispatch stage: classify the whole chunk first
+// (validation, page spans, bounds checks — pure address math, no ring or
+// slab traffic), then stage the classified requests onto the rings with
+// epoch handoffs interleaved at their boundaries. Splitting the phases
+// keeps classification off the staging path and lets one doorbell cover
+// many requests. On error nothing from the chunk has been dispatched.
+func (fe *frontEnd) enqueueBatch(c *Controller, reqs []trace.Request) error {
+	if fe.err != nil {
+		return fe.err
+	}
+	if cap(fe.disp) < len(reqs) {
+		fe.disp = make([]dispReq, 0, len(reqs))
+	}
+	fe.disp = fe.disp[:0]
+	for i := range reqs {
+		r := &reqs[i]
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		first, last := c.pageSpan(*r)
+		if err := ftl.CheckLPN(last, fe.cap); err != nil {
+			return fmt.Errorf("ssd: request [%d,%d) exceeds device: %w", r.LBN, r.End(), err)
+		}
+		fe.disp = append(fe.disp, dispReq{arrival: r.Arrival, first: first, last: last, read: r.Op == trace.OpRead})
+	}
+	for i := range fe.disp {
+		if err := fe.dispatch(c, fe.disp[i], true); err != nil {
+			return err
+		}
+		fe.maybeAdvance(c)
+	}
+	return nil
+}
+
+// dispatch stages one classified request: route each page to its shard,
+// park the completion record in the current epoch, and ring doorbells.
+func (fe *frontEnd) dispatch(c *Controller, d dispReq, deferred bool) error {
+	npages := int(d.last - d.first + 1)
+	if d.read {
 		c.pagesRead += int64(npages)
 	} else {
 		c.pagesWrit += int64(npages)
 	}
 	fe.sinceFlush += npages
 	if fe.serial {
-		if err := fe.serveSerial(c, r.Arrival, first, last, read); err != nil {
+		if err := fe.serveSerial(c, d.arrival, d.first, d.last, d.read); err != nil {
 			return err
 		}
 		fe.bell(npages)
@@ -452,28 +596,31 @@ func (fe *frontEnd) enqueue(c *Controller, r trace.Request, deferred bool) error
 	// consumer that needs the host-side arrival-order stream (latency hook,
 	// time series, recorder, the synchronous Serve API) disqualifies it.
 	if fe.relaxed && deferred && npages == 1 && c.latHook == nil && c.series == nil && c.rec == nil {
-		sh, lpn := fe.shardOf(first)
-		sh.sq.PushStaged(pageCmd{lpn: lpn, arrival: r.Arrival, slot: -1, read: read})
+		sh, lpn := fe.shardOf(d.first)
+		sh.sq.PushStaged(pageCmd{lpn: lpn, arrival: d.arrival, slot: -1, read: d.read})
 		fe.bell(1)
 		return nil
 	}
-	fe.pendSerial = false
-	off := len(c.pendEnds)
-	for lpn := first; lpn <= last; lpn++ {
+	ep := &fe.epochs[fe.cur]
+	ep.serial = false
+	parity := int32(fe.cur)
+	off := len(ep.ends)
+	for lpn := d.first; lpn <= d.last; lpn++ {
 		sh, local := fe.shardOf(lpn)
-		slot, future := fe.slab.NewSlot()
-		sh.sq.PushStaged(pageCmd{lpn: local, arrival: r.Arrival, slot: int32(slot), read: read})
-		c.pendEnds = append(c.pendEnds, future)
+		slot, future := ep.slab.NewSlot()
+		sh.sq.PushStaged(pageCmd{lpn: local, arrival: d.arrival, slot: int32(slot)<<1 | parity, read: d.read})
+		ep.ends = append(ep.ends, future)
 		if fe.tele != nil {
 			fe.tele.shardPages[sh.idx]++
 		}
 	}
-	c.pend = append(c.pend, pendingDone{
-		arrival: r.Arrival,
+	ep.pend = append(ep.pend, pendingDone{
+		arrival: d.arrival,
 		off:     int32(off),
 		n:       int32(npages),
-		read:    read,
+		read:    d.read,
 	})
+	ep.pages += npages
 	fe.bell(npages)
 	return nil
 }
@@ -482,7 +629,7 @@ func (fe *frontEnd) enqueue(c *Controller, r trace.Request, deferred bool) error
 // accumulated.
 func (fe *frontEnd) bell(pages int) {
 	fe.staged += pages
-	if fe.staged < doorbellBatch {
+	if fe.staged < fe.doorbell {
 		return
 	}
 	fe.ring()
@@ -515,8 +662,9 @@ func (fe *frontEnd) ring() {
 // in-order baseline. Completion times (possibly timing-engine futures) park
 // exactly like the concurrent path's, so Flush folds both identically.
 func (fe *frontEnd) serveSerial(c *Controller, arrival sim.Time, first, last ftl.LPN, read bool) error {
-	fe.pendSerial = true
-	off := len(c.pendEnds)
+	ep := &fe.epochs[fe.cur]
+	ep.serial = true
+	off := len(ep.ends)
 	for lpn := first; lpn <= last; lpn++ {
 		sh, local := fe.shardOf(lpn)
 		var end sim.Time
@@ -527,8 +675,8 @@ func (fe *frontEnd) serveSerial(c *Controller, arrival sim.Time, first, last ftl
 			end, err = sh.f.WritePage(ftl.LPN(local), arrival)
 		}
 		if err != nil {
-			c.pendEnds = c.pendEnds[:off]
-			c.pendShards = c.pendShards[:off]
+			ep.ends = ep.ends[:off]
+			ep.shards = ep.shards[:off]
 			fe.err = err
 			return err
 		}
@@ -540,15 +688,16 @@ func (fe *frontEnd) serveSerial(c *Controller, arrival sim.Time, first, last ftl
 		if fe.tele != nil {
 			fe.tele.shardPages[sh.idx]++
 		}
-		c.pendEnds = append(c.pendEnds, end)
-		c.pendShards = append(c.pendShards, int8(sh.idx))
+		ep.ends = append(ep.ends, end)
+		ep.shards = append(ep.shards, int8(sh.idx))
 	}
-	c.pend = append(c.pend, pendingDone{
+	ep.pend = append(ep.pend, pendingDone{
 		arrival: arrival,
 		off:     int32(off),
 		n:       int32(last - first + 1),
 		read:    read,
 	})
+	ep.pages += int(last - first + 1)
 	return nil
 }
 
@@ -573,28 +722,72 @@ func (fe *frontEnd) barrier() {
 	}
 }
 
-// flush is the epoch barrier: quiesce the shards, fold every parked request
-// into the response-time accumulators in arrival order, and recycle the
-// completion slab(s).
-func (fe *frontEnd) flush(c *Controller) {
-	fe.barrier()
-	if fe.err != nil {
-		c.pend = c.pend[:0]
-		c.pendEnds = c.pendEnds[:0]
-		c.pendShards = c.pendShards[:0]
-		fe.resetEpoch()
+// maybeAdvance closes the current epoch once it holds enough parked pages.
+// The common case is the pipelined handoff (advance); when the timing
+// engine runs under the shards, the sub-device slabs only recycle at full
+// barriers, so those runs bound them with a full flush instead.
+func (fe *frontEnd) maybeAdvance(c *Controller) {
+	if fe.timingSharded && fe.sinceFlush >= preconditionEpoch {
+		c.Flush()
 		return
 	}
-	for _, p := range c.pend {
+	if fe.epochs[fe.cur].pages >= fe.epochPages {
+		fe.advance(c)
+	}
+}
+
+// advance is the pipelined epoch handoff: publish the closing epoch's tail
+// batch, fold the previous epoch's completions while the shards execute the
+// one just closed, and recycle the previous slab as the buffer for the next
+// epoch. No worker stalls: the only waiting is slab.Wait on slots a full
+// epoch old, which in steady state have long resolved. The host therefore
+// runs at most two epochs ahead of the slowest shard — the natural
+// backpressure that bounds both slabs.
+func (fe *frontEnd) advance(c *Controller) {
+	if fe.depth < 2 {
+		// Degenerate pipeline: the classic stop-the-world barrier epoch
+		// (Flush also fires the pulse, matching the pre-pipeline cadence).
+		c.Flush()
+		return
+	}
+	fe.ring()
+	if fe.failed.Load() {
+		// A worker latched an error; quiesce now so fe.err surfaces on the
+		// next enqueue instead of at the end of the run.
+		c.Flush()
+		return
+	}
+	fe.foldEpoch(c, &fe.epochs[1-fe.cur])
+	fe.cur = 1 - fe.cur
+	if c.pulse != nil {
+		// Pulse consumers (the live exporter) snapshot shard-side state,
+		// which is only safe at a true quiescent point.
+		fe.barrier()
+		c.pulse()
+	}
+}
+
+// foldEpoch folds one epoch's parked requests into the response-time
+// accumulators in arrival order — the same order, and therefore the same
+// floating-point sequence, no matter how the stream was cut into epochs or
+// how long fold was deferred; that invariance is why determinism survives
+// the pipelining. Afterwards the epoch recycles: every handle has been
+// resolved, so no live reference survives into the reused slab.
+func (fe *frontEnd) foldEpoch(c *Controller, ep *feEpoch) {
+	if fe.err != nil {
+		ep.reset() // the run is being abandoned; drop, don't fold
+		return
+	}
+	for _, p := range ep.pend {
 		done := p.arrival
 		for i := int32(0); i < p.n; i++ {
 			idx := p.off + i
-			t := c.pendEnds[idx]
+			t := ep.ends[idx]
 			if sim.IsFutureTime(t) {
-				if fe.pendSerial {
-					t = fe.shards[c.pendShards[idx]].dev.ResolveTime(t)
+				if ep.serial {
+					t = fe.shards[ep.shards[idx]].dev.ResolveTime(t)
 				} else {
-					t = fe.slab.Wait(sim.FutureSlot(t))
+					t = ep.slab.Wait(sim.FutureSlot(t))
 				}
 			}
 			if t > done {
@@ -625,21 +818,43 @@ func (fe *frontEnd) flush(c *Controller) {
 			c.latHook(rt)
 		}
 	}
-	c.pend = c.pend[:0]
-	c.pendEnds = c.pendEnds[:0]
-	c.pendShards = c.pendShards[:0]
+	ep.reset()
+}
+
+// flush is the full epoch barrier: quiesce every shard, fold both in-flight
+// epochs in arrival order (previous epoch first), and recycle every slab.
+// This is the quiescent point every statistics reader, checkpoint, recorder
+// switch, and mode change goes through.
+func (fe *frontEnd) flush(c *Controller) {
+	fe.barrier()
+	if fe.err != nil {
+		fe.epochs[0].reset()
+		fe.epochs[1].reset()
+		fe.resetEpoch()
+		return
+	}
+	fe.foldEpoch(c, &fe.epochs[1-fe.cur])
+	fe.foldEpoch(c, &fe.epochs[fe.cur])
 	fe.resetEpoch()
 }
 
-// resetEpoch recycles the front end's completion slab and every shard's
-// timing-engine slab. Callers hold no live handles (flush resolved or
-// dropped them all).
+// resetEpoch recycles every shard's timing-engine slab and restarts the
+// full-barrier page count (the epoch slabs recycle in foldEpoch). Callers
+// hold no live handles.
 func (fe *frontEnd) resetEpoch() {
-	fe.slab.Reset()
 	fe.sinceFlush = 0
 	for _, sh := range fe.shards {
 		sh.dev.ResetTimingEpoch()
 	}
+}
+
+// discard drops both epochs' parked completions without folding them (the
+// accumulators are about to be reset or overwritten anyway).
+func (fe *frontEnd) discard() {
+	fe.barrier()
+	fe.epochs[0].reset()
+	fe.epochs[1].reset()
+	fe.resetEpoch()
 }
 
 // precondition sequentially writes the first pages logical pages, chaining
@@ -1006,6 +1221,7 @@ func (fe *frontEnd) recoverShards(cfg Config, extra int) (*frontEnd, error) {
 		subCap:  fe.subCap,
 		relaxed: cfg.Merge == MergeRelaxed,
 	}
+	nfe.initTunables(cfg)
 	timingShards := resolveShards(cfg.Shards, fe.geo.Channels/int(fe.n))
 	nfe.timingSharded = timingShards > 1
 	for _, sh := range fe.shards {

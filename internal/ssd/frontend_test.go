@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -204,6 +205,100 @@ func TestMQDeterministicRepeat(t *testing.T) {
 				t.Fatalf("repeat run diverged\nfirst:  %+v\nsecond: %+v", a, b)
 			}
 		})
+	}
+}
+
+// TestMQEpochSweepDifferential is the pipeline half of the differential
+// suite: epoch length and pipeline depth are pure scheduling knobs, so
+// sweeping EpochPages across the degenerate single-page epoch, the
+// off-by-one values around the doorbell batch, and a large epoch — each at
+// pipeline depth 1 (stop-the-world folds) and 2 (double-buffered folds) —
+// must reproduce the serial baseline's Results and per-request latency
+// stream bit for bit for every scheme. Folding is per-request in arrival
+// order no matter where the epoch cuts land, which is exactly the property
+// this test pins.
+func TestMQEpochSweepDifferential(t *testing.T) {
+	for si, scheme := range allSchemes {
+		t.Run(scheme, func(t *testing.T) {
+			seed := int64(41 + si*13) // a different workload per scheme
+			base := mqConfig(scheme, tiny8Geometry(), 4, MergeDeterministic)
+			ser := buildMQ(t, base)
+			ser.fe.flush(ser)
+			ser.fe.serial = true
+			var wantLat []sim.Duration
+			ser.SetLatencyHook(func(d sim.Duration) { wantLat = append(wantLat, d) })
+			preconditionTiny(t, ser)
+			w := tinyWorkload(t, ser, 1600, seed)
+			want, err := ser.Run(trace.NewSliceReader(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pages := range []int{1, doorbellBatch - 1, doorbellBatch, 8192} {
+				for _, depth := range []int{1, 2} {
+					t.Run(fmt.Sprintf("pages%d-depth%d", pages, depth), func(t *testing.T) {
+						cfg := base
+						cfg.EpochPages = pages
+						cfg.PipelineDepth = depth
+						c := buildMQ(t, cfg)
+						var lat []sim.Duration
+						c.SetLatencyHook(func(d sim.Duration) { lat = append(lat, d) })
+						preconditionTiny(t, c)
+						got, err := c.Run(trace.NewSliceReader(w))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("Results differ from serial baseline\nserial:   %+v\npipeline: %+v", want, got)
+						}
+						if !reflect.DeepEqual(lat, wantLat) {
+							t.Fatalf("latency streams differ: %d vs %d samples", len(lat), len(wantLat))
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestMQForkAtMidEpoch pins checkpointing against the pipeline: a Snapshot
+// taken while an epoch is still open — parked completions not yet folded,
+// and at depth 2 possibly a whole previous epoch still unfolded — must
+// quiesce, fold, and capture a state from which any number of forks replay
+// bit-identically.
+func TestMQForkAtMidEpoch(t *testing.T) {
+	cfg := mqConfig(SchemeDLOOP, tiny8Geometry(), 4, MergeDeterministic)
+	cfg.EpochPages = 256 // small epochs so the cut lands mid-stream
+	c := buildMQ(t, cfg)
+	preconditionTiny(t, c)
+	w := tinyWorkload(t, c, 1500, 23)
+	for _, r := range w[:777] { // stop mid-epoch: no flush before the snapshot
+		if err := c.Enqueue(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.fe.epochs[0].pend)+len(c.fe.epochs[1].pend) == 0 {
+		t.Fatal("cut landed on an epoch boundary; the snapshot would not exercise mid-epoch state")
+	}
+	cp, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := tinyWorkload(t, c, 900, 24)
+	first, err := c.Run(trace.NewSliceReader(w2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fork := 0; fork < 2; fork++ {
+		if err := c.Restore(cp); err != nil {
+			t.Fatal(err)
+		}
+		again, err := c.Run(trace.NewSliceReader(w2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, first) {
+			t.Fatalf("fork %d diverged after mid-epoch snapshot\nfirst: %+v\nfork:  %+v", fork, first, again)
+		}
 	}
 }
 
@@ -504,6 +599,46 @@ func TestMQSteadyStateAllocFree(t *testing.T) {
 			serveBatch()
 			if avg := testing.AllocsPerRun(10, serveBatch); avg > 0 {
 				t.Fatalf("multi-queue serve path allocates %.1f times per 100-request epoch, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestObservedMQSteadyStateAllocFree is the observed twin of
+// TestMQSteadyStateAllocFree: attaching a metrics-only collector (no trace
+// sinks, no snapshot series) must keep the multi-queue serving path
+// allocation-free per request at steady state. The shard children's counters
+// and histograms, the quiescent-point registry merge, and the fold-time
+// RecordRequest calls all reuse arenas sized during warm-up; this pins the
+// 0 B/op that BenchmarkSimulateThroughputObservedMQ reports.
+func TestObservedMQSteadyStateAllocFree(t *testing.T) {
+	for _, merge := range []string{MergeDeterministic, MergeRelaxed} {
+		t.Run(merge, func(t *testing.T) {
+			c := buildMQ(t, mqConfig(SchemeDLOOP, tinyGeometry(), 2, merge))
+			preconditionTiny(t, c)
+			col := obs.NewCollector(c.ObsOptions())
+			c.SetRecorder(col)
+			if c.fe.serial {
+				t.Fatal("collector forced serial execution")
+			}
+			reqs := tinyWorkload(t, c, 2000, 29)
+			for i := range reqs {
+				reqs[i].Op = trace.OpRead
+			}
+			i := 0
+			serveBatch := func() {
+				for n := 0; n < 100; n++ {
+					if err := c.Enqueue(reqs[i%len(reqs)]); err != nil {
+						t.Fatal(err)
+					}
+					i++
+				}
+				c.Flush()
+			}
+			serveBatch() // reach steady state: rings, slabs, epoch slices, hist buckets
+			serveBatch()
+			if avg := testing.AllocsPerRun(10, serveBatch); avg > 0 {
+				t.Fatalf("observed multi-queue serve path allocates %.1f times per 100-request epoch, want 0", avg)
 			}
 		})
 	}

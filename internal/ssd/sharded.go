@@ -103,21 +103,17 @@ func (c *Controller) Close() {
 }
 
 // Enqueue serves one request on the pipelined path: FTL decisions happen
-// now, timing resolves at the next Flush. Epoch barriers are automatic —
-// every flushEvery pipelined requests, and implicitly in every statistics
-// reader — so callers may Enqueue indefinitely. On a sequential controller
-// it is Serve with the response time discarded.
+// now, timing resolves at the next epoch fold. Epoch handoffs are automatic
+// — every Config.EpochPages parked pages on the multi-queue engine, every
+// flushEvery requests on the timing engine, and implicitly in every
+// statistics reader — so callers may Enqueue indefinitely. On a sequential
+// controller it is Serve with the response time discarded.
 func (c *Controller) Enqueue(r trace.Request) error {
 	if c.fe != nil {
 		if err := c.fe.enqueue(c, r, true); err != nil {
 			return err
 		}
-		// Relaxed merge's fast path parks nothing in c.pend, so bound the
-		// timing-engine slabs by page count when they are in play.
-		if len(c.pend) >= flushEvery ||
-			(c.fe.timingSharded && c.fe.sinceFlush >= preconditionEpoch) {
-			c.Flush()
-		}
+		c.fe.maybeAdvance(c)
 		return nil
 	}
 	if !c.par {
@@ -239,11 +235,7 @@ func (c *Controller) Flush() {
 // the slab.
 func (c *Controller) discardPending() {
 	if c.fe != nil {
-		c.fe.barrier()
-		c.pend = c.pend[:0]
-		c.pendEnds = c.pendEnds[:0]
-		c.pendShards = c.pendShards[:0]
-		c.fe.resetEpoch()
+		c.fe.discard()
 		return
 	}
 	if !c.par {

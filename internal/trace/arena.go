@@ -101,6 +101,29 @@ func (c *Cursor) Next() (Request, error) {
 	return req, nil
 }
 
+// NextN implements BatchReader, assembling a whole chunk from the columns
+// per call.
+func (c *Cursor) NextN(dst []Request) (int, error) {
+	if c.pos >= c.a.Len() {
+		return 0, errEOF
+	}
+	n := c.a.Len() - c.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	a, p := c.a, c.pos
+	for i := 0; i < n; i++ {
+		dst[i] = Request{
+			Arrival: a.arrival[p+i],
+			LBN:     a.lbn[p+i],
+			Sectors: int(a.sectors[p+i]),
+			Op:      Op(a.ops[p+i]),
+		}
+	}
+	c.pos += n
+	return n, nil
+}
+
 // Reset rewinds the cursor to the first request.
 func (c *Cursor) Reset() { c.pos = 0 }
 

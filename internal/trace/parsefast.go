@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+)
+
+// Allocation-free parsing primitives for the trace readers. One full parse of
+// a UMass-scale trace used to cost one string and one []string per line
+// (Scanner.Text plus strings.Fields/Split); the readers now slice the
+// scanner's own buffer into a reused field scratch and parse numbers byte
+// wise. Every fast path below is exact — it either returns the bit-identical
+// value strconv would, or falls back to strconv on a copied string, so values
+// AND error text match the reference parser in all cases.
+
+// asciiLine reports whether b contains only single-byte characters, so the
+// byte-wise field splitter agrees with strings.Fields on where fields begin
+// and end. Lines with multi-byte runes take the reference string path.
+func asciiLine(b []byte) bool {
+	for _, c := range b {
+		if c >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+func isASCIISpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r' || c == '\n'
+}
+
+// appendFields splits b on runs of ASCII whitespace, appending subslices of b
+// to dst. dst is a reused scratch (pass scratch[:0]); nothing escapes.
+func appendFields(dst [][]byte, b []byte) [][]byte {
+	i := 0
+	for i < len(b) {
+		for i < len(b) && isASCIISpace(b[i]) {
+			i++
+		}
+		if i == len(b) {
+			break
+		}
+		j := i
+		for j < len(b) && !isASCIISpace(b[j]) {
+			j++
+		}
+		dst = append(dst, b[i:j])
+		i = j
+	}
+	return dst
+}
+
+// appendSplitComma splits b on every comma, appending subslices of b to dst
+// with the same field boundaries as strings.Split(b, ",") — empty fields and
+// the trailing field included. Commas are single-byte in UTF-8, so unlike
+// appendFields this needs no ASCII guard.
+func appendSplitComma(dst [][]byte, b []byte) [][]byte {
+	for {
+		i := bytes.IndexByte(b, ',')
+		if i < 0 {
+			return append(dst, b)
+		}
+		dst = append(dst, b[:i])
+		b = b[i+1:]
+	}
+}
+
+// parseFloatBytes parses a decimal floating-point number, allocation-free for
+// the plain digits[.digits] forms traces actually contain. The fast path is
+// Clinger's exact-division case: with at most 15 significant digits the
+// mantissa is exactly representable, math.Pow10 is exact through 1e22, and a
+// single IEEE division rounds correctly — bit-identical to strconv.ParseFloat.
+// Signs, exponents, hex floats, and over-long precision fall back to strconv.
+func parseFloatBytes(b []byte) (float64, error) {
+	mant := uint64(0)
+	digits, frac := 0, 0
+	dot := false
+	for _, c := range b {
+		switch {
+		case c >= '0' && c <= '9':
+			mant = mant*10 + uint64(c-'0')
+			digits++
+			if dot {
+				frac++
+			}
+		case c == '.' && !dot:
+			dot = true
+		default:
+			return strconv.ParseFloat(string(b), 64)
+		}
+	}
+	if digits == 0 || digits > 15 || frac > 22 {
+		return strconv.ParseFloat(string(b), 64)
+	}
+	if frac == 0 {
+		return float64(mant), nil
+	}
+	return float64(mant) / math.Pow10(frac), nil
+}
+
+// parseIntBytes is strconv.ParseInt(string(b), 10, 64) without the string
+// conversion. At most 18 digits keeps the accumulator far from overflow;
+// longer or irregular input falls back to strconv for identical values,
+// range clamping, and error text.
+func parseIntBytes(b []byte) (int64, error) {
+	s := b
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	if len(s) == 0 || len(s) > 18 {
+		return strconv.ParseInt(string(b), 10, 64)
+	}
+	n := int64(0)
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return strconv.ParseInt(string(b), 10, 64)
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// parseAtoiBytes is strconv.Atoi(string(b)) without the string conversion,
+// with the same 18-digit fast-path bound as parseIntBytes. The fallback calls
+// Atoi itself so error text keeps the Atoi function name.
+func parseAtoiBytes(b []byte) (int, error) {
+	s := b
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	if len(s) == 0 || len(s) > 18 {
+		return strconv.Atoi(string(b))
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return strconv.Atoi(string(b))
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}

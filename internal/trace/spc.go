@@ -2,11 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
-	"strconv"
-	"strings"
 
 	"dloop/internal/sim"
 )
@@ -19,10 +18,15 @@ import (
 // LBA in sectors, Size in bytes, Opcode 'r'/'R' or 'w'/'W', Timestamp in
 // seconds from trace start.
 
-// SPCReader parses the SPC-1 CSV trace format.
+// SPCReader parses the SPC-1 CSV trace format. Like DiskSimReader, parsing
+// is allocation-free per line at steady state: comma-separated fields are
+// subslices of the scanner's buffer held in a reused scratch, and the numeric
+// columns take the exact byte-wise fast paths of parsefast.go. Commas are
+// single-byte in UTF-8, so the byte-wise splitter needs no ASCII guard here.
 type SPCReader struct {
-	s    *bufio.Scanner
-	line int
+	s      *bufio.Scanner
+	line   int
+	fields [][]byte // reused per-line field scratch
 }
 
 // NewSPCReader returns a Reader over an SPC-1 CSV stream.
@@ -36,11 +40,11 @@ func NewSPCReader(r io.Reader) *SPCReader {
 func (r *SPCReader) Next() (Request, error) {
 	for r.s.Scan() {
 		r.line++
-		line := strings.TrimSpace(r.s.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(r.s.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		req, err := parseSPCLine(line)
+		req, err := r.parseLine(line)
 		if err != nil {
 			return Request{}, fmt.Errorf("trace: spc line %d: %w", r.line, err)
 		}
@@ -54,29 +58,33 @@ func (r *SPCReader) Next() (Request, error) {
 	return Request{}, io.EOF
 }
 
-func parseSPCLine(line string) (Request, error) {
-	f := strings.Split(line, ",")
+func (r *SPCReader) parseLine(line []byte) (Request, error) {
+	r.fields = appendSplitComma(r.fields[:0], line)
+	f := r.fields
 	if len(f) < 5 {
 		return Request{}, fmt.Errorf("want at least 5 fields, got %d", len(f))
 	}
-	lba, err := strconv.ParseInt(strings.TrimSpace(f[1]), 10, 64)
+	lba, err := parseIntBytes(bytes.TrimSpace(f[1]))
 	if err != nil {
 		return Request{}, fmt.Errorf("lba %q: %v", f[1], err)
 	}
-	size, err := strconv.Atoi(strings.TrimSpace(f[2]))
+	size, err := parseAtoiBytes(bytes.TrimSpace(f[2]))
 	if err != nil {
 		return Request{}, fmt.Errorf("size %q: %v", f[2], err)
 	}
+	// Case-insensitive single-letter opcode. Only ASCII can lower-case to
+	// 'r' or 'w', so the byte compare matches strings.ToLower exactly.
 	var op Op
-	switch strings.ToLower(strings.TrimSpace(f[3])) {
-	case "r":
+	opf := bytes.TrimSpace(f[3])
+	switch {
+	case len(opf) == 1 && (opf[0] == 'r' || opf[0] == 'R'):
 		op = OpRead
-	case "w":
+	case len(opf) == 1 && (opf[0] == 'w' || opf[0] == 'W'):
 		op = OpWrite
 	default:
 		return Request{}, fmt.Errorf("opcode %q", f[3])
 	}
-	secs, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+	secs, err := parseFloatBytes(bytes.TrimSpace(f[4]))
 	if err != nil {
 		return Request{}, fmt.Errorf("timestamp %q: %v", f[4], err)
 	}

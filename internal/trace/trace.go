@@ -68,6 +68,18 @@ type Reader interface {
 	Next() (Request, error)
 }
 
+// BatchReader is an optional Reader extension for chunked replay: NextN
+// fills dst with up to len(dst) requests and returns how many it wrote.
+// Like io.Reader, it may return n > 0 at the end of the stream and io.EOF
+// (with n == 0) only on a subsequent call. Sources that hold requests
+// columnar or generate them in bulk (Arena cursors, workload generators)
+// implement it so consumers can move whole chunks without a per-request
+// interface call.
+type BatchReader interface {
+	Reader
+	NextN(dst []Request) (int, error)
+}
+
 // SliceReader replays an in-memory request slice.
 type SliceReader struct {
 	reqs []Request
@@ -87,6 +99,16 @@ func (r *SliceReader) Next() (Request, error) {
 	req := r.reqs[r.pos]
 	r.pos++
 	return req, nil
+}
+
+// NextN implements BatchReader.
+func (r *SliceReader) NextN(dst []Request) (int, error) {
+	if r.pos >= len(r.reqs) {
+		return 0, errEOF
+	}
+	n := copy(dst, r.reqs[r.pos:])
+	r.pos += n
+	return n, nil
 }
 
 // ReadAll drains a Reader into a slice.

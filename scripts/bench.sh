@@ -60,7 +60,9 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 # Root package: only the end-to-end hot-path benchmarks (throughput plain,
-# with the observability recorder attached, sharded vs sequential, plus the
+# with the observability recorder attached, sharded vs sequential — the
+# BenchmarkShardedThroughput pattern covers every mode sub-benchmark,
+# including the batched-dispatch 8ch/mq-pipelined one — plus the
 # sustained-GC regime), not the figure sweeps. Internal packages: every
 # benchmark they define.
 #
