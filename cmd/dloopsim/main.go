@@ -40,6 +40,8 @@ func main() {
 		adaptive   = flag.Bool("adaptive-gc", false, "DLOOP E7 extension: hot-plane-aware GC thresholds")
 		stripeBy   = flag.String("stripe-by", "", "DLOOP E8 ablation: plane|die|chip|channel")
 		gcPolicy   = flag.String("gc-policy", "", "GC victim policy: greedy|costbenefit|windowed|fifo (empty = scheme default)")
+		translate  = flag.String("translate", "", "translation policy for DLOOP/DFTL: slru|lru|learned (empty = slru)")
+		cmtEntries = flag.Int("cmt-entries", 0, "SRAM mapping-cache entries for DLOOP/DFTL (0 = default 4096); validated against the logical space")
 		bufPages   = flag.Int("buffer-pages", 0, "DRAM write buffer capacity in pages (0 = off)")
 		shards     = flag.String("shards", "1", "timing shards: N workers (1 = sequential), or 'auto' for one per channel; results are bit-identical either way")
 		ftlShards  = flag.String("ftl-shards", "1", "concurrent FTL shards: the logical space splits LPN mod N over N independent FTLs (1 = single FTL), or 'auto' for one per channel on 8+ channel shapes")
@@ -90,6 +92,8 @@ func main() {
 		AdaptiveGC:      *adaptive,
 		StripeBy:        *stripeBy,
 		GCPolicy:        *gcPolicy,
+		TranslatePolicy: *translate,
+		CMTEntries:      *cmtEntries,
 		BufferPages:     *bufPages,
 		Shards:          nShards,
 		FTLShards:       nFTLShards,
@@ -284,6 +288,9 @@ func report(res dloop.Result, wall time.Duration) {
 	if res.TransReads+res.TransWrites > 0 {
 		fmt.Printf("mapping:             CMT hit %.1f%%, %d translation reads, %d translation writes\n",
 			100*res.CMTHitRate, res.TransReads, res.TransWrites)
+		if res.LearnedHits > 0 {
+			fmt.Printf("  learned index:     %d verified predictions (translation reads skipped)\n", res.LearnedHits)
+		}
 	}
 	if res.SwitchMerges+res.PartialMerges+res.FullMerges > 0 {
 		fmt.Printf("merges:              %d switch, %d partial, %d full (%d pages copied)\n",

@@ -10,7 +10,8 @@
 // Experiments: fig8 (capacity sweep), fig9 (page size), fig10 (extra
 // blocks), headline (improvement ratios, implies fig8), ablation (E5
 // copy-back on/off), parity (E6 same-parity waste), hotplane (E7 adaptive
-// GC), gcpolicy (E9 victim-policy sweep), all.
+// GC), gcpolicy (E9 victim-policy sweep), translate (E10 translation-policy
+// sweep), all.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig8|fig9|fig10|headline|ablation|parity|striping|hotplane|gcpolicy|all")
+		exp        = flag.String("exp", "all", "experiment: fig8|fig9|fig10|headline|ablation|parity|striping|hotplane|gcpolicy|translate|all")
 		requests   = flag.Int("requests", 400_000, "requests per run")
 		seed       = flag.Int64("seed", 42, "workload seed")
 		scale      = flag.Float64("scale", 1.0, "shrink device+footprint for quick runs (0,1]")
@@ -38,6 +39,8 @@ func main() {
 		ftlShards  = flag.String("ftl-shards", "1", "concurrent FTL shards per cell: LPN mod N over N independent FTLs (1 = single FTL), or 'auto' for one per channel on 8+ channel shapes")
 		merge      = flag.String("merge", "", "completion merge mode with -ftl-shards > 1: deterministic|relaxed (empty = deterministic)")
 		epochPages = flag.Int("epoch-pages", 0, "pages per multi-queue pipeline epoch (0 = default 4096); deterministic results are bit-identical across values")
+		translate  = flag.String("translate", "", "translation policy for the DLOOP/DFTL runs: slru|lru|learned (empty = slru; the translate experiment sweeps its own)")
+		cmtEntries = flag.Int("cmt-entries", 0, "SRAM mapping-cache entries for DLOOP/DFTL runs (0 = scheme default; the translate experiment sweeps its own)")
 		outDir     = flag.String("out", "", "directory for CSV output (optional)")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		noFork     = flag.Bool("no-fork", false, "disable warm-up checkpoint sharing; every cell builds and preconditions its own simulator")
@@ -78,7 +81,8 @@ func main() {
 	opt := dloop.Options{
 		Requests: *requests, Seed: *seed, Scale: *scale, Workers: *workers,
 		ParallelCells: *cells, Shards: nShards, FTLShards: nFTLShards, Merge: *merge,
-		EpochPages: *epochPages,
+		EpochPages:      *epochPages,
+		TranslatePolicy: *translate, CMTEntries: *cmtEntries,
 		MetricsDir: *metricsOut, TraceDir: *traceEvents, SnapshotIntervalMs: *snapshotMs,
 		NoFork: *noFork,
 	}
@@ -225,9 +229,19 @@ func run(exp string, opt dloop.Options, outDir string) error {
 			return err
 		}
 	}
+	if want("translate") {
+		ran = true
+		reads, mrt, err := dloop.TranslateStudy(opt)
+		if err != nil {
+			return err
+		}
+		if err := emit("translate", reads, mrt); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"fig8", "fig9", "fig10", "headline", "ablation", "parity", "striping", "hotplane", "gcpolicy", "all"}, "|"))
+			strings.Join([]string{"fig8", "fig9", "fig10", "headline", "ablation", "parity", "striping", "hotplane", "gcpolicy", "translate", "all"}, "|"))
 	}
 	return nil
 }

@@ -68,6 +68,15 @@ type Options struct {
 	// see ssd.Config.EpochPages). Deterministic-merge results are
 	// bit-identical across values, so it is safe to sweep.
 	EpochPages int
+	// TranslatePolicy, when non-empty, is copied into every demand-paged
+	// (DLOOP/DFTL) job's ssd.Config that does not set its own: "slru", "lru",
+	// or "learned" (see internal/ftl/translate). Schemes without a
+	// demand-paged map ignore it.
+	TranslatePolicy string
+	// CMTEntries, when non-zero, overrides the SRAM mapping-cache size for
+	// every job that does not pin its own (including the Scale-derived
+	// default).
+	CMTEntries int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
 	// Scale shrinks workload footprints and request counts together for
@@ -376,6 +385,24 @@ func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 		for i := range jobs {
 			if jobs[i].cfg.EpochPages == 0 {
 				jobs[i].cfg.EpochPages = opt.EpochPages
+			}
+		}
+	}
+	// Translation-engine knobs: the policy applies only to the demand-paged
+	// schemes (ssd.Build rejects it elsewhere), the cache size to any job
+	// that did not pin its own.
+	if opt.TranslatePolicy != "" {
+		for i := range jobs {
+			scheme := jobs[i].cfg.FTL
+			if (scheme == ssd.SchemeDLOOP || scheme == ssd.SchemeDFTL) && jobs[i].cfg.TranslatePolicy == "" {
+				jobs[i].cfg.TranslatePolicy = opt.TranslatePolicy
+			}
+		}
+	}
+	if opt.CMTEntries != 0 {
+		for i := range jobs {
+			if jobs[i].cfg.CMTEntries == 0 {
+				jobs[i].cfg.CMTEntries = opt.CMTEntries
 			}
 		}
 	}

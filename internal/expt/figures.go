@@ -123,6 +123,9 @@ func configFor(capacityGB, pageKB int, extraPct float64, scheme string, opt Opti
 		}
 		cfg.CMTEntries = cmt
 	}
+	if opt.CMTEntries != 0 {
+		cfg.CMTEntries = opt.CMTEntries
+	}
 	return cfg, true
 }
 

@@ -6,22 +6,6 @@ import (
 	"dloop/internal/flash"
 )
 
-// BenchmarkCMT measures the cache's hot path: hit, miss+insert, eviction.
-func BenchmarkCMT(b *testing.B) {
-	c, err := NewCMT(4096, 256)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		lpn := LPN(i % 8192) // 50% working set over capacity: mixes hits and evictions
-		if _, ok := c.Get(lpn); !ok {
-			c.Insert(lpn, flash.PPN(i), i%2 == 0)
-		}
-	}
-}
-
 // BenchmarkTrackerChurn measures victim-index updates under a GC-like churn.
 func BenchmarkTrackerChurn(b *testing.B) {
 	geo := flash.Geometry{

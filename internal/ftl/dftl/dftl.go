@@ -20,6 +20,7 @@ import (
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
 	"dloop/internal/ftl/gc"
+	"dloop/internal/ftl/translate"
 	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
@@ -38,6 +39,9 @@ type Config struct {
 	// GCPolicy selects the garbage-collection victim policy (default
 	// "greedy"; see gc.ParsePolicy for the alternatives).
 	GCPolicy string
+	// TranslatePolicy selects the address-translation policy (default
+	// "slru"; see translate.ParsePolicy for the alternatives).
+	TranslatePolicy string
 }
 
 func (c *Config) setDefaults() {
@@ -53,7 +57,7 @@ func (c *Config) setDefaults() {
 type Stats struct {
 	GCRuns      int64
 	GCMoves     int64 // valid pages relocated by GC (all through the bus)
-	MapperStats ftl.MapperStats
+	MapperStats translate.Stats
 }
 
 type writePoint struct {
@@ -69,7 +73,7 @@ type DFTL struct {
 	cfg      Config
 	capacity ftl.LPN
 
-	mapper  *ftl.Mapper
+	mapper  *translate.Engine
 	pool    *ftl.FreeBlocks
 	tracker *ftl.Tracker
 	data    writePoint // global current data block
@@ -95,7 +99,17 @@ func New(dev *flash.Device, cfg Config) (*DFTL, error) {
 		tracker:  ftl.NewTracker(geo),
 	}
 	var err error
-	f.mapper, err = ftl.NewMapper(dev, f, f.tracker, f.capacity, cfg.CMTEntries)
+	tpol, err := translate.ParsePolicy(cfg.TranslatePolicy)
+	if err != nil {
+		return nil, err
+	}
+	f.mapper, err = translate.NewEngine(translate.Config{
+		Dev: dev, Placer: f, Tracker: f.tracker,
+		Capacity: f.capacity, CMTEntries: cfg.CMTEntries, Policy: tpol,
+		// The global data log appends consecutive LPNs to consecutive pages,
+		// so the learned index trains unit-stride progressions.
+		StrideHint: 1,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -139,8 +153,15 @@ func (f *DFTL) Stats() Stats {
 // GCPolicyName reports the victim-selection policy in effect.
 func (f *DFTL) GCPolicyName() string { return f.engine.PolicyName() }
 
+// TranslatePolicyName reports the address-translation policy in effect.
+func (f *DFTL) TranslatePolicyName() string { return f.mapper.Policy().String() }
+
+// LearnedSegments reports the learned index's live segment count (0 unless
+// the learned translation policy is active).
+func (f *DFTL) LearnedSegments() int { return f.mapper.LearnedSegments() }
+
 // CMTHitRate reports the mapping-cache hit rate.
-func (f *DFTL) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRate() }
+func (f *DFTL) CMTHitRate() (float64, int64, int64) { return f.mapper.Cache.HitRate() }
 
 // SetRecorder implements ftl.Observable.
 func (f *DFTL) SetRecorder(r obs.Recorder) {

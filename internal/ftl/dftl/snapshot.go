@@ -5,12 +5,13 @@ import (
 
 	"dloop/internal/ftl"
 	"dloop/internal/ftl/gc"
+	"dloop/internal/ftl/translate"
 )
 
 // state is DFTL's checkpoint: the demand-paged mapping machinery plus the
 // two global write points.
 type state struct {
-	mapper  ftl.MapperState
+	mapper  translate.State
 	pool    ftl.FreeBlocksState
 	tracker ftl.TrackerState
 	data    writePoint

@@ -20,6 +20,7 @@ import (
 	"dloop/internal/flash"
 	"dloop/internal/ftl"
 	"dloop/internal/ftl/gc"
+	"dloop/internal/ftl/translate"
 	"dloop/internal/obs"
 	"dloop/internal/sim"
 )
@@ -50,6 +51,9 @@ type Config struct {
 	// "greedy", the paper's max-invalid pick; see gc.ParsePolicy for the
 	// alternatives).
 	GCPolicy string
+	// TranslatePolicy selects the address-translation policy (default
+	// "slru"; see translate.ParsePolicy for the alternatives).
+	TranslatePolicy string
 }
 
 func (c *Config) setDefaults() {
@@ -69,7 +73,7 @@ type Stats struct {
 	GCRuns      int64 // garbage collections completed
 	GCMoves     int64 // valid pages relocated by GC
 	ParityWaste int64 // free pages wasted to satisfy the same-parity rule
-	MapperStats ftl.MapperStats
+	MapperStats translate.Stats
 }
 
 type writePoint struct {
@@ -85,7 +89,7 @@ type DLOOP struct {
 	cfg      Config
 	capacity ftl.LPN
 
-	mapper  *ftl.Mapper
+	mapper  *translate.Engine
 	pool    *ftl.FreeBlocks
 	tracker *ftl.Tracker
 	cur     []writePoint // per plane
@@ -125,7 +129,17 @@ func New(dev *flash.Device, cfg Config) (*DLOOP, error) {
 	if err != nil {
 		return nil, err
 	}
-	f.mapper, err = ftl.NewMapper(dev, f, f.tracker, f.capacity, cfg.CMTEntries)
+	tpol, err := translate.ParsePolicy(cfg.TranslatePolicy)
+	if err != nil {
+		return nil, err
+	}
+	f.mapper, err = translate.NewEngine(translate.Config{
+		Dev: dev, Placer: f, Tracker: f.tracker,
+		Capacity: f.capacity, CMTEntries: cfg.CMTEntries, Policy: tpol,
+		// Striping puts same-plane logical neighbors #planes apart, so the
+		// learned index trains one plane's progression at a time.
+		StrideHint: geo.Planes(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -175,8 +189,15 @@ func (f *DLOOP) Stats() Stats {
 // GCPolicyName reports the victim-selection policy in effect.
 func (f *DLOOP) GCPolicyName() string { return f.engine.PolicyName() }
 
+// TranslatePolicyName reports the address-translation policy in effect.
+func (f *DLOOP) TranslatePolicyName() string { return f.mapper.Policy().String() }
+
+// LearnedSegments reports the learned index's live segment count (0 unless
+// the learned translation policy is active).
+func (f *DLOOP) LearnedSegments() int { return f.mapper.LearnedSegments() }
+
 // CMTHitRate reports the mapping-cache hit rate.
-func (f *DLOOP) CMTHitRate() (float64, int64, int64) { return f.mapper.CMT.HitRate() }
+func (f *DLOOP) CMTHitRate() (float64, int64, int64) { return f.mapper.Cache.HitRate() }
 
 // SetRecorder implements ftl.Observable: GC spans and parity-waste events
 // flow from here, CMT events from the shared mapper.

@@ -5,13 +5,14 @@ import (
 
 	"dloop/internal/ftl"
 	"dloop/internal/ftl/gc"
+	"dloop/internal/ftl/translate"
 )
 
 // state is DLOOP's checkpoint: a deep copy of everything that changes as
 // requests are served. Geometry, config, capacity, and the striping
 // permutation are construction-time constants and stay out.
 type state struct {
-	mapper      ftl.MapperState
+	mapper      translate.State
 	pool        ftl.FreeBlocksState
 	tracker     ftl.TrackerState
 	cur         []writePoint

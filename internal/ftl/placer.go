@@ -1,0 +1,23 @@
+package ftl
+
+import (
+	"dloop/internal/flash"
+	"dloop/internal/sim"
+)
+
+// Placer is the placement policy a page-mapping FTL plugs into the
+// translation engine (internal/ftl/translate): it picks (and, if needed,
+// garbage-collects to obtain) a destination page for the encoded logical
+// page. DLOOP stripes by plane; DFTL appends to a global write point.
+type Placer interface {
+	// PlacePage returns a free physical page for the stored tag (an LPN or
+	// an encoded translation-page number) and the earliest time the page can
+	// accept the program, after any garbage collection the placement incurs.
+	PlacePage(stored int64, ready sim.Time) (flash.PPN, sim.Time, error)
+}
+
+// Moved records one garbage-collection relocation for mapping redirection.
+type Moved struct {
+	Stored int64 // tag of the page content (LPN or encoded tvpn)
+	New    flash.PPN
+}

@@ -11,9 +11,9 @@ import (
 // (flash.Device.PageLPN) — so after a crash the whole mapping can be rebuilt
 // by scanning the device: every valid page names its logical owner, every
 // fully-free block returns to the pool, and partially-written blocks resume
-// as write points. This is also what makes the Mapper's lazy GC redirects
-// safe: a translation page left stale on flash is never the authority — the
-// OOB tags are.
+// as write points. This is also what makes the translation engine's lazy GC
+// redirects safe: a translation page left stale on flash is never the
+// authority — the OOB tags are.
 
 // PartialBlock is a block the scan found partially programmed: it was a
 // write point when power failed and resumes as one.
@@ -111,16 +111,4 @@ func NewEmptyFreeBlocks(geo flash.Geometry) *FreeBlocks {
 		f.planes[p].buf = make([]int, geo.BlocksPerPlane)
 	}
 	return f
-}
-
-// AdoptState installs a recovered table and GTD into the mapper (the CMT
-// starts cold, as SRAM is lost at power-off).
-func (m *Mapper) AdoptState(table, gtd []flash.PPN) error {
-	if len(table) != len(m.Table) || len(gtd) != len(m.GTD) {
-		return fmt.Errorf("ftl: recovered state shape %d/%d does not match mapper %d/%d",
-			len(table), len(gtd), len(m.Table), len(m.GTD))
-	}
-	copy(m.Table, table)
-	copy(m.GTD, gtd)
-	return nil
 }

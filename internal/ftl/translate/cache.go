@@ -1,19 +1,22 @@
-package ftl
+package translate
 
 import (
 	"fmt"
 
 	"dloop/internal/flash"
+	"dloop/internal/ftl"
 )
 
-// CMT is the Cached Mapping Table: the small SRAM cache of hot
+// Cache is the Cached Mapping Table: the small SRAM cache of hot
 // logical-to-physical mappings that DFTL introduced and DLOOP reuses
 // (§III.D, algorithm line 6: "select a victim entry for eviction using
 // segmented LRU").
 //
-// The segmented LRU keeps a probationary segment for entries seen once and a
-// protected segment for entries hit again; victims come from the
-// probationary tail, so scan-like bursts cannot flush the hot set.
+// In its default segmented-LRU mode it keeps a probationary segment for
+// entries seen once and a protected segment for entries hit again; victims
+// come from the probationary tail, so scan-like bursts cannot flush the hot
+// set. The plain mode (PolicyLRU) collapses both segments into one recency
+// list — every hit moves to the front, victims come from the tail.
 //
 // The cache also indexes dirty entries by translation page, supporting
 // DFTL's batch-update optimization: when a dirty victim forces a
@@ -27,24 +30,25 @@ import (
 // dirty index are intrusive: each entry carries its own links, and dirty
 // membership costs one list splice plus a counter update instead of a
 // map-of-maps insertion.
-type CMT struct {
+type Cache struct {
 	capacity int
-	protCap  int // capacity of the protected segment
-	epp      int // mapping entries per translation page
-	n        int // cached entries
+	protCap  int  // capacity of the protected segment
+	epp      int  // mapping entries per translation page
+	plain    bool // plain LRU: single recency list, no protected segment
+	n        int  // cached entries
 
-	slab     []cmtEntry // 1-based; slab[0] is the nil sentinel
-	freeHead int32      // free-list head, linked through cmtEntry.next
+	slab     []entry // 1-based; slab[0] is the nil sentinel
+	freeHead int32   // free-list head, linked through entry.next
 
 	// Exactly one of the two lookup indexes is active: dense maps the whole
 	// logical space to handles (O(1), no hashing) when the space size is
 	// known at build time; index is the fallback for callers that size only
 	// the cache.
 	dense []int32
-	index map[LPN]int32
+	index map[ftl.LPN]int32
 
-	probation cmtList // MRU at head
-	protected cmtList // MRU at head
+	probation list // MRU at head; the only list in plain mode
+	protected list // MRU at head
 
 	tpHead  []int32 // tvpn -> head of the intrusive dirty list
 	tpCount []int32 // tvpn -> cached dirty mappings
@@ -52,15 +56,15 @@ type CMT struct {
 	hits, misses int64
 }
 
-// CMTEntry is the externally visible form of a cache entry.
-type CMTEntry struct {
-	LPN   LPN
+// Entry is the externally visible form of a cache entry.
+type Entry struct {
+	LPN   ftl.LPN
 	PPN   flash.PPN
 	Dirty bool
 }
 
-type cmtEntry struct {
-	lpn          LPN
+type entry struct {
+	lpn          ftl.LPN
 	ppn          flash.PPN
 	dirty        bool
 	protected    bool
@@ -68,12 +72,12 @@ type cmtEntry struct {
 	dPrev, dNext int32 // per-translation-page dirty-list links
 }
 
-type cmtList struct {
+type list struct {
 	head, tail int32
 	n          int
 }
 
-func (c *CMT) pushFront(l *cmtList, h int32) {
+func (c *Cache) pushFront(l *list, h int32) {
 	e := &c.slab[h]
 	e.prev = 0
 	e.next = l.head
@@ -87,7 +91,7 @@ func (c *CMT) pushFront(l *cmtList, h int32) {
 	l.n++
 }
 
-func (c *CMT) listRemove(l *cmtList, h int32) {
+func (c *Cache) listRemove(l *list, h int32) {
 	e := &c.slab[h]
 	if e.prev != 0 {
 		c.slab[e.prev].next = e.next
@@ -103,37 +107,46 @@ func (c *CMT) listRemove(l *cmtList, h int32) {
 	l.n--
 }
 
-// NewCMT returns a cache holding at most capacity entries, with the
-// protected segment getting half. entriesPerPage is the number of mapping
-// entries per translation page, used to group dirty entries for batched
-// write-back. Capacity must be at least 2 and entriesPerPage at least 1.
-func NewCMT(capacity, entriesPerPage int) (*CMT, error) {
-	return newCMT(capacity, entriesPerPage, 0, 0)
+// NewCache returns a segmented-LRU cache holding at most capacity entries,
+// with the protected segment getting half. entriesPerPage is the number of
+// mapping entries per translation page, used to group dirty entries for
+// batched write-back. Capacity must be at least 2 and entriesPerPage at
+// least 1.
+func NewCache(capacity, entriesPerPage int) (*Cache, error) {
+	return newCache(capacity, entriesPerPage, 0, 0, false)
 }
 
-// NewCMTForSpace is NewCMT for a caller that knows the logical space the
+// NewLRUCache is NewCache in plain least-recently-used mode: one recency
+// list, hits move to the front, victims come from the tail.
+func NewLRUCache(capacity, entriesPerPage int) (*Cache, error) {
+	return newCache(capacity, entriesPerPage, 0, 0, true)
+}
+
+// NewCacheForSpace is NewCache for a caller that knows the logical space the
 // cache fronts: space logical pages grouped into translationPages
 // translation pages. Lookups then go through a dense handle array instead of
-// a hash map, which matters on the request-serving hot path.
-func NewCMTForSpace(capacity, entriesPerPage int, space LPN, translationPages int) (*CMT, error) {
+// a hash map, which matters on the request-serving hot path. plain selects
+// the single-list LRU mode.
+func NewCacheForSpace(capacity, entriesPerPage int, space ftl.LPN, translationPages int, plain bool) (*Cache, error) {
 	if space < 1 || translationPages < 1 {
-		return nil, fmt.Errorf("ftl: CMT space %d / %d translation pages too small", space, translationPages)
+		return nil, fmt.Errorf("translate: cache space %d / %d translation pages too small", space, translationPages)
 	}
-	return newCMT(capacity, entriesPerPage, space, translationPages)
+	return newCache(capacity, entriesPerPage, space, translationPages, plain)
 }
 
-func newCMT(capacity, entriesPerPage int, space LPN, translationPages int) (*CMT, error) {
+func newCache(capacity, entriesPerPage int, space ftl.LPN, translationPages int, plain bool) (*Cache, error) {
 	if capacity < 2 {
-		return nil, fmt.Errorf("ftl: CMT capacity %d too small", capacity)
+		return nil, fmt.Errorf("translate: cache capacity %d too small", capacity)
 	}
 	if entriesPerPage < 1 {
-		return nil, fmt.Errorf("ftl: entries per translation page %d too small", entriesPerPage)
+		return nil, fmt.Errorf("translate: entries per translation page %d too small", entriesPerPage)
 	}
-	c := &CMT{
+	c := &Cache{
 		capacity: capacity,
 		protCap:  capacity / 2,
 		epp:      entriesPerPage,
-		slab:     make([]cmtEntry, capacity+1),
+		plain:    plain,
+		slab:     make([]entry, capacity+1),
 	}
 	// Chain every handle onto the free list.
 	for h := 1; h <= capacity; h++ {
@@ -146,31 +159,31 @@ func newCMT(capacity, entriesPerPage int, space LPN, translationPages int) (*CMT
 		c.tpHead = make([]int32, translationPages)
 		c.tpCount = make([]int32, translationPages)
 	} else {
-		c.index = make(map[LPN]int32, capacity)
+		c.index = make(map[ftl.LPN]int32, capacity)
 	}
 	return c, nil
 }
 
-func (c *CMT) alloc() int32 {
+func (c *Cache) alloc() int32 {
 	h := c.freeHead
 	c.freeHead = c.slab[h].next
-	c.slab[h] = cmtEntry{}
+	c.slab[h] = entry{}
 	return h
 }
 
-func (c *CMT) release(h int32) {
+func (c *Cache) release(h int32) {
 	c.slab[h].next = c.freeHead
 	c.freeHead = h
 }
 
-func (c *CMT) lookup(lpn LPN) int32 {
+func (c *Cache) lookup(lpn ftl.LPN) int32 {
 	if c.dense != nil {
 		return c.dense[lpn]
 	}
 	return c.index[lpn]
 }
 
-func (c *CMT) setIndex(lpn LPN, h int32) {
+func (c *Cache) setIndex(lpn ftl.LPN, h int32) {
 	if c.dense != nil {
 		c.dense[lpn] = h
 		return
@@ -178,7 +191,7 @@ func (c *CMT) setIndex(lpn LPN, h int32) {
 	c.index[lpn] = h
 }
 
-func (c *CMT) delIndex(lpn LPN) {
+func (c *Cache) delIndex(lpn ftl.LPN) {
 	if c.dense != nil {
 		c.dense[lpn] = 0
 		return
@@ -187,31 +200,31 @@ func (c *CMT) delIndex(lpn LPN) {
 }
 
 // Len returns the number of cached entries.
-func (c *CMT) Len() int { return c.n }
+func (c *Cache) Len() int { return c.n }
 
 // Capacity returns the maximum number of entries.
-func (c *CMT) Capacity() int { return c.capacity }
+func (c *Cache) Capacity() int { return c.capacity }
 
 // HitRate returns the fraction of Get calls that hit, and the totals.
-func (c *CMT) HitRate() (rate float64, hits, misses int64) {
+func (c *Cache) HitRate() (rate float64, hits, misses int64) {
 	if c.hits+c.misses == 0 {
 		return 0, 0, 0
 	}
 	return float64(c.hits) / float64(c.hits+c.misses), c.hits, c.misses
 }
 
-func (c *CMT) tvpn(lpn LPN) int64 { return int64(lpn) / int64(c.epp) }
+func (c *Cache) tvpn(lpn ftl.LPN) int64 { return int64(lpn) / int64(c.epp) }
 
 // ensureTP grows the map-indexed cache's translation-page arrays to cover
 // tvpn; the dense variant sized them at construction.
-func (c *CMT) ensureTP(tvpn int64) {
+func (c *Cache) ensureTP(tvpn int64) {
 	for int64(len(c.tpHead)) <= tvpn {
 		c.tpHead = append(c.tpHead, 0)
 		c.tpCount = append(c.tpCount, 0)
 	}
 }
 
-func (c *CMT) markDirty(h int32) {
+func (c *Cache) markDirty(h int32) {
 	e := &c.slab[h]
 	tp := c.tvpn(e.lpn)
 	c.ensureTP(tp)
@@ -224,7 +237,7 @@ func (c *CMT) markDirty(h int32) {
 	c.tpCount[tp]++
 }
 
-func (c *CMT) unmarkDirty(h int32) {
+func (c *Cache) unmarkDirty(h int32) {
 	e := &c.slab[h]
 	tp := c.tvpn(e.lpn)
 	if e.dPrev != 0 {
@@ -239,25 +252,25 @@ func (c *CMT) unmarkDirty(h int32) {
 	c.tpCount[tp]--
 }
 
-// CMTState is a deep copy of the cache, for checkpoint/fork. Entries are
+// CacheState is a deep copy of the cache, for checkpoint/fork. Entries are
 // plain values, so copying the slab copies every list link with it.
-type CMTState struct {
+type CacheState struct {
 	n                    int
-	slab                 []cmtEntry
+	slab                 []entry
 	freeHead             int32
 	dense                []int32
-	index                map[LPN]int32
-	probation, protected cmtList
+	index                map[ftl.LPN]int32
+	probation, protected list
 	tpHead               []int32
 	tpCount              []int32
 	hits, misses         int64
 }
 
 // Snapshot captures the cache's contents and statistics.
-func (c *CMT) Snapshot() CMTState {
-	s := CMTState{
+func (c *Cache) Snapshot() CacheState {
+	s := CacheState{
 		n:         c.n,
-		slab:      append([]cmtEntry(nil), c.slab...),
+		slab:      append([]entry(nil), c.slab...),
 		freeHead:  c.freeHead,
 		probation: c.probation,
 		protected: c.protected,
@@ -269,7 +282,7 @@ func (c *CMT) Snapshot() CMTState {
 	if c.dense != nil {
 		s.dense = append([]int32(nil), c.dense...)
 	} else {
-		s.index = make(map[LPN]int32, len(c.index))
+		s.index = make(map[ftl.LPN]int32, len(c.index))
 		for k, v := range c.index {
 			s.index[k] = v
 		}
@@ -277,10 +290,10 @@ func (c *CMT) Snapshot() CMTState {
 	return s
 }
 
-// Restore rewinds the cache to a snapshot from a CMT of the same shape.
+// Restore rewinds the cache to a snapshot from a Cache of the same shape.
 // The map-indexed variant's translation-page arrays grow on demand, so the
 // slices are re-appended rather than copied in place.
-func (c *CMT) Restore(s CMTState) {
+func (c *Cache) Restore(s CacheState) {
 	c.n = s.n
 	copy(c.slab, s.slab)
 	c.freeHead = s.freeHead
@@ -294,14 +307,14 @@ func (c *CMT) Restore(s CMTState) {
 		copy(c.dense, s.dense)
 		return
 	}
-	c.index = make(map[LPN]int32, len(s.index))
+	c.index = make(map[ftl.LPN]int32, len(s.index))
 	for k, v := range s.index {
 		c.index[k] = v
 	}
 }
 
 // Get looks up a mapping, updating recency and segment membership on a hit.
-func (c *CMT) Get(lpn LPN) (flash.PPN, bool) {
+func (c *Cache) Get(lpn ftl.LPN) (flash.PPN, bool) {
 	h := c.lookup(lpn)
 	if h == 0 {
 		c.misses++
@@ -314,9 +327,15 @@ func (c *CMT) Get(lpn LPN) (flash.PPN, bool) {
 
 // Contains reports whether a mapping is cached without perturbing recency or
 // hit statistics (used by garbage collection).
-func (c *CMT) Contains(lpn LPN) bool { return c.lookup(lpn) != 0 }
+func (c *Cache) Contains(lpn ftl.LPN) bool { return c.lookup(lpn) != 0 }
 
-func (c *CMT) touch(h int32) {
+func (c *Cache) touch(h int32) {
+	if c.plain {
+		// Plain LRU: one list, hits move to the front.
+		c.listRemove(&c.probation, h)
+		c.pushFront(&c.probation, h)
+		return
+	}
 	if c.slab[h].protected {
 		c.listRemove(&c.protected, h)
 		c.pushFront(&c.protected, h)
@@ -335,11 +354,12 @@ func (c *CMT) touch(h int32) {
 }
 
 // Insert adds a mapping that is not currently cached. If the cache is full it
-// evicts the segmented-LRU victim and returns it with evicted=true; the
-// caller must write the victim back to its translation page if it is dirty.
-func (c *CMT) Insert(lpn LPN, ppn flash.PPN, dirty bool) (victim CMTEntry, evicted bool) {
+// evicts the LRU victim (in segmented mode, the segmented-LRU victim) and
+// returns it with evicted=true; the caller must write the victim back to its
+// translation page if it is dirty.
+func (c *Cache) Insert(lpn ftl.LPN, ppn flash.PPN, dirty bool) (victim Entry, evicted bool) {
 	if c.lookup(lpn) != 0 {
-		panic(fmt.Sprintf("ftl: CMT.Insert of cached lpn %d", lpn))
+		panic(fmt.Sprintf("translate: Cache.Insert of cached lpn %d", lpn))
 	}
 	if c.n >= c.capacity {
 		victim, evicted = c.evict()
@@ -356,7 +376,7 @@ func (c *CMT) Insert(lpn LPN, ppn flash.PPN, dirty bool) (victim CMTEntry, evict
 	return victim, evicted
 }
 
-func (c *CMT) evict() (CMTEntry, bool) {
+func (c *Cache) evict() (Entry, bool) {
 	var h int32
 	if c.probation.tail != 0 {
 		h = c.probation.tail
@@ -365,7 +385,7 @@ func (c *CMT) evict() (CMTEntry, bool) {
 		h = c.protected.tail
 		c.listRemove(&c.protected, h)
 	} else {
-		return CMTEntry{}, false
+		return Entry{}, false
 	}
 	e := &c.slab[h]
 	if e.dirty {
@@ -373,14 +393,14 @@ func (c *CMT) evict() (CMTEntry, bool) {
 	}
 	c.delIndex(e.lpn)
 	c.n--
-	victim := CMTEntry{LPN: e.lpn, PPN: e.ppn, Dirty: e.dirty}
+	victim := Entry{LPN: e.lpn, PPN: e.ppn, Dirty: e.dirty}
 	c.release(h)
 	return victim, true
 }
 
 // Update rewrites the PPN of a cached mapping and ORs in dirty. It reports
 // whether the entry was present.
-func (c *CMT) Update(lpn LPN, ppn flash.PPN, dirty bool) bool {
+func (c *Cache) Update(lpn ftl.LPN, ppn flash.PPN, dirty bool) bool {
 	h := c.lookup(lpn)
 	if h == 0 {
 		return false
@@ -396,7 +416,7 @@ func (c *CMT) Update(lpn LPN, ppn flash.PPN, dirty bool) bool {
 
 // DirtyInPage returns how many cached dirty mappings belong to the
 // translation page tvpn.
-func (c *CMT) DirtyInPage(tvpn int64) int {
+func (c *Cache) DirtyInPage(tvpn int64) int {
 	if tvpn < 0 || tvpn >= int64(len(c.tpCount)) {
 		return 0
 	}
@@ -404,9 +424,9 @@ func (c *CMT) DirtyInPage(tvpn int64) int {
 }
 
 // CleanPage marks every cached dirty mapping of translation page tvpn clean
-// and returns how many there were. Mapper.writeBack calls it after the
+// and returns how many there were. Engine.writeBack calls it after the
 // read-modify-write that persisted them all at once (DFTL's batch update).
-func (c *CMT) CleanPage(tvpn int64) int {
+func (c *Cache) CleanPage(tvpn int64) int {
 	if tvpn < 0 || tvpn >= int64(len(c.tpHead)) {
 		return 0
 	}

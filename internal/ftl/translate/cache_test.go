@@ -1,4 +1,4 @@
-package ftl
+package translate
 
 import (
 	"math/rand"
@@ -6,19 +6,20 @@ import (
 	"testing/quick"
 
 	"dloop/internal/flash"
+	"dloop/internal/ftl"
 )
 
-func TestCMTRejectsBadConfig(t *testing.T) {
-	if _, err := NewCMT(1, 256); err == nil {
+func TestCacheRejectsBadConfig(t *testing.T) {
+	if _, err := NewCache(1, 256); err == nil {
 		t.Error("capacity 1 accepted")
 	}
-	if _, err := NewCMT(8, 0); err == nil {
+	if _, err := NewCache(8, 0); err == nil {
 		t.Error("entriesPerPage 0 accepted")
 	}
 }
 
-func TestCMTBasicHitMiss(t *testing.T) {
-	c, err := NewCMT(4, 256)
+func TestCacheBasicHitMiss(t *testing.T) {
+	c, err := NewCache(4, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +43,8 @@ func TestCMTBasicHitMiss(t *testing.T) {
 	}
 }
 
-func TestCMTInsertPanicsOnDuplicate(t *testing.T) {
-	c, _ := NewCMT(4, 256)
+func TestCacheInsertPanicsOnDuplicate(t *testing.T) {
+	c, _ := NewCache(4, 256)
 	c.Insert(1, 100, false)
 	defer func() {
 		if recover() == nil {
@@ -53,10 +54,10 @@ func TestCMTInsertPanicsOnDuplicate(t *testing.T) {
 	c.Insert(1, 200, false)
 }
 
-func TestCMTSegmentedLRUEviction(t *testing.T) {
-	c, _ := NewCMT(4, 256)
+func TestCacheSegmentedLRUEviction(t *testing.T) {
+	c, _ := NewCache(4, 256)
 	// Fill with 4 entries; touch 1 and 2 so they get protected.
-	for i := LPN(1); i <= 4; i++ {
+	for i := ftl.LPN(1); i <= 4; i++ {
 		c.Insert(i, flash.PPN(i*10), false)
 	}
 	c.Get(1)
@@ -68,7 +69,7 @@ func TestCMTSegmentedLRUEviction(t *testing.T) {
 		t.Fatalf("victim %+v evicted=%v, want lpn 3", victim, evicted)
 	}
 	// Scan through many one-shot entries: protected 1 and 2 must survive.
-	for i := LPN(100); i < 120; i++ {
+	for i := ftl.LPN(100); i < 120; i++ {
 		c.Insert(i, flash.PPN(i), false)
 	}
 	if !c.Contains(1) || !c.Contains(2) {
@@ -76,8 +77,32 @@ func TestCMTSegmentedLRUEviction(t *testing.T) {
 	}
 }
 
-func TestCMTEvictFromProtectedWhenProbationEmpty(t *testing.T) {
-	c, _ := NewCMT(2, 256)
+// TestCachePlainLRUEviction pins the lru policy's difference from slru: a
+// re-referenced entry gains no scan resistance, so a burst of one-shot
+// inserts flushes it.
+func TestCachePlainLRUEviction(t *testing.T) {
+	c, _ := NewLRUCache(4, 256)
+	for i := ftl.LPN(1); i <= 4; i++ {
+		c.Insert(i, flash.PPN(i*10), false)
+	}
+	c.Get(1)
+	c.Get(2)
+	// LRU order (most recent first): 2, 1, 4, 3 — the victim is 3.
+	victim, evicted := c.Insert(5, 50, false)
+	if !evicted || victim.LPN != 3 {
+		t.Fatalf("victim %+v evicted=%v, want lpn 3", victim, evicted)
+	}
+	// Unlike slru, a scan evicts the previously-hit entries too.
+	for i := ftl.LPN(100); i < 120; i++ {
+		c.Insert(i, flash.PPN(i), false)
+	}
+	if c.Contains(1) || c.Contains(2) {
+		t.Fatal("plain LRU kept re-referenced entries through a scan")
+	}
+}
+
+func TestCacheEvictFromProtectedWhenProbationEmpty(t *testing.T) {
+	c, _ := NewCache(2, 256)
 	c.Insert(1, 10, false)
 	c.Insert(2, 20, false)
 	c.Get(1)
@@ -92,8 +117,8 @@ func TestCMTEvictFromProtectedWhenProbationEmpty(t *testing.T) {
 	}
 }
 
-func TestCMTDirtyTracking(t *testing.T) {
-	c, _ := NewCMT(8, 4) // tvpn = lpn/4
+func TestCacheDirtyTracking(t *testing.T) {
+	c, _ := NewCache(8, 4) // tvpn = lpn/4
 	c.Insert(0, 10, true)
 	c.Insert(1, 11, false)
 	c.Update(1, 12, true)
@@ -110,27 +135,17 @@ func TestCMTDirtyTracking(t *testing.T) {
 	if c.DirtyInPage(0) != 0 {
 		t.Fatal("page 0 still dirty after CleanPage")
 	}
-	// Cleaned entries evict as clean.
-	victim, evicted := func() (CMTEntry, bool) {
-		for i := LPN(100); ; i += 4 {
-			if v, e := c.Insert(i, flash.PPN(i), false); e {
-				return v, e
-			}
-		}
-	}()
-	_ = victim
-	_ = evicted
 }
 
-func TestCMTUpdateMissing(t *testing.T) {
-	c, _ := NewCMT(4, 256)
+func TestCacheUpdateMissing(t *testing.T) {
+	c, _ := NewCache(4, 256)
 	if c.Update(9, 1, true) {
 		t.Fatal("Update of missing entry returned true")
 	}
 }
 
-func TestCMTEvictedDirtyEntryLeavesIndex(t *testing.T) {
-	c, _ := NewCMT(2, 4)
+func TestCacheEvictedDirtyEntryLeavesIndex(t *testing.T) {
+	c, _ := NewCache(2, 4)
 	c.Insert(0, 10, true)
 	c.Insert(1, 11, true)
 	victim, evicted := c.Insert(2, 12, false)
@@ -144,8 +159,8 @@ func TestCMTEvictedDirtyEntryLeavesIndex(t *testing.T) {
 	}
 }
 
-func TestCMTCleanPageNoDirtyEntries(t *testing.T) {
-	c, _ := NewCMT(8, 4)
+func TestCacheCleanPageNoDirtyEntries(t *testing.T) {
+	c, _ := NewCache(8, 4)
 	c.Insert(0, 10, false)
 	c.Insert(1, 11, false)
 	if n := c.CleanPage(0); n != 0 {
@@ -163,11 +178,11 @@ func TestCMTCleanPageNoDirtyEntries(t *testing.T) {
 	}
 }
 
-// TestCMTEvictDirectlyWithEmptyProbation drives evict() with every entry in
+// TestCacheEvictDirectlyWithEmptyProbation drives evict() with every entry in
 // the protected segment: the victim must come from the protected tail and its
 // dirty accounting must be unwound.
-func TestCMTEvictDirectlyWithEmptyProbation(t *testing.T) {
-	c, _ := NewCMT(4, 4)
+func TestCacheEvictDirectlyWithEmptyProbation(t *testing.T) {
+	c, _ := NewCache(4, 4)
 	c.Insert(0, 10, true)
 	c.Insert(1, 11, false)
 	c.Get(0)
@@ -187,8 +202,8 @@ func TestCMTEvictDirectlyWithEmptyProbation(t *testing.T) {
 	}
 }
 
-func TestCMTUpdatePromotesCleanToDirtyOnce(t *testing.T) {
-	c, _ := NewCMT(8, 4)
+func TestCacheUpdatePromotesCleanToDirtyOnce(t *testing.T) {
+	c, _ := NewCache(8, 4)
 	c.Insert(2, 10, false)
 	if c.DirtyInPage(0) != 0 {
 		t.Fatal("clean insert counted dirty")
@@ -215,18 +230,18 @@ func TestCMTUpdatePromotesCleanToDirtyOnce(t *testing.T) {
 	}
 }
 
-// TestCMTDenseVariantMatchesMap runs the same operation stream against the
+// TestCacheDenseVariantMatchesMap runs the same operation stream against the
 // map-indexed and dense-indexed builds; they must behave identically.
-func TestCMTDenseVariantMatchesMap(t *testing.T) {
+func TestCacheDenseVariantMatchesMap(t *testing.T) {
 	const space, epp = 40, 4
-	a, _ := NewCMT(8, epp)
-	b, err := NewCMTForSpace(8, epp, space, (space+epp-1)/epp)
+	a, _ := NewCache(8, epp)
+	b, err := NewCacheForSpace(8, epp, space, (space+epp-1)/epp, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 2000; i++ {
-		lpn := LPN(rng.Intn(space))
+		lpn := ftl.LPN(rng.Intn(space))
 		switch rng.Intn(4) {
 		case 0:
 			pa, oka := a.Get(lpn)
@@ -266,15 +281,21 @@ func TestCMTDenseVariantMatchesMap(t *testing.T) {
 }
 
 // Property: the cache never exceeds capacity, Get returns what was last
-// Insert/Update-ed, and the dirty index matches entry dirty flags.
-func TestCMTModelProperty(t *testing.T) {
-	f := func(seed int64) bool {
+// Insert/Update-ed, and the dirty index matches entry dirty flags — for both
+// the segmented and plain-LRU builds.
+func TestCacheModelProperty(t *testing.T) {
+	f := func(seed int64, plain bool) bool {
 		rng := rand.New(rand.NewSource(seed))
-		c, _ := NewCMT(8, 4)
-		model := map[LPN]flash.PPN{} // what the cache should hold if present
-		dirty := map[LPN]bool{}
+		var c *Cache
+		if plain {
+			c, _ = NewLRUCache(8, 4)
+		} else {
+			c, _ = NewCache(8, 4)
+		}
+		model := map[ftl.LPN]flash.PPN{} // what the cache should hold if present
+		dirty := map[ftl.LPN]bool{}
 		for i := 0; i < 500; i++ {
-			lpn := LPN(rng.Intn(20))
+			lpn := ftl.LPN(rng.Intn(20))
 			switch rng.Intn(3) {
 			case 0:
 				if c.Contains(lpn) {

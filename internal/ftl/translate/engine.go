@@ -1,0 +1,394 @@
+package translate
+
+import (
+	"fmt"
+
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/obs"
+	"dloop/internal/sim"
+)
+
+// Stats counts the address-translation overhead of a demand-paged mapping
+// table.
+type Stats struct {
+	Evictions      int64 // cache evictions
+	DirtyEvictions int64 // evictions that forced a translation-page write-back
+	TransReads     int64 // translation-page reads (fetch + read-modify-write)
+	TransWrites    int64 // translation-page programs
+	BatchCleaned   int64 // dirty mappings persisted by batched write-backs
+	LazyRedirects  int64 // GC redirects of uncached mappings absorbed lazily (OOB-backed)
+	LearnedHits    int64 // correct learned predictions: translation read skipped
+	LearnedFalse   int64 // learned mispredictions refuted by the OOB tag
+}
+
+// Config assembles a translation engine for one page-mapping FTL.
+type Config struct {
+	// Dev is the flash device translation traffic is charged against.
+	Dev *flash.Device
+	// Placer supplies destination pages for translation-page programs (the
+	// owning scheme: DLOOP stripes by plane, DFTL appends to a global write
+	// point).
+	Placer ftl.Placer
+	// Tracker receives invalidation bookkeeping for superseded translation
+	// pages.
+	Tracker *ftl.Tracker
+	// Capacity is the exported logical-page count.
+	Capacity ftl.LPN
+	// CMTEntries sizes the SRAM mapping cache.
+	CMTEntries int
+	// Policy selects the translation policy (default PolicySLRU).
+	Policy Policy
+	// StrideHint is the scheme's striping period — the LPN distance between
+	// logical pages placed on the same plane (DLOOP: #planes, DFTL: 1; 0 is
+	// treated as 1). The learned index trains one residue class at a time so
+	// its segments follow the placement rule.
+	StrideHint int
+}
+
+// Engine implements the demand-paged page-level mapping shared by DLOOP and
+// DFTL (§II.A, §III.D): the full table lives in flash as translation pages,
+// located through the in-SRAM GTD; hot entries are cached in the Cache (the
+// CMT). The learned policy additionally predicts PPNs for regularly-placed
+// ranges so verified predictions skip the translation read (see learned.go).
+//
+// Table is authoritative for simulation correctness; the cache/GTD machinery
+// exists to charge the flash traffic that a real controller's SRAM miss
+// would cost.
+type Engine struct {
+	dev    *flash.Device
+	placer ftl.Placer
+
+	Table []flash.PPN // lpn -> current ppn, InvalidPPN if never written
+	Cache *Cache
+	GTD   []flash.PPN // tvpn -> ppn of its translation page, InvalidPPN if never persisted
+
+	entriesPerTP int
+	tracker      *ftl.Tracker // invalidation bookkeeping for superseded translation pages
+	policy       Policy
+	li           *learnedIndex // non-nil only under PolicyLearned
+
+	stats Stats
+	rec   obs.Recorder // nil when observability is disabled
+}
+
+// NewEngine builds a translation engine. Translation pages pack PageSize/8
+// entries (8 bytes per mapping entry, the figure DFTL uses).
+func NewEngine(cfg Config) (*Engine, error) {
+	per := cfg.Dev.Geometry().PageSize / 8
+	if per < 1 {
+		return nil, fmt.Errorf("translate: page size %d too small for translation entries", cfg.Dev.Geometry().PageSize)
+	}
+	nTP := (int64(cfg.Capacity) + int64(per) - 1) / int64(per)
+	cache, err := NewCacheForSpace(cfg.CMTEntries, per, cfg.Capacity, int(nTP), cfg.Policy == PolicyLRU)
+	if err != nil {
+		return nil, err
+	}
+	m := &Engine{
+		dev:          cfg.Dev,
+		placer:       cfg.Placer,
+		Table:        make([]flash.PPN, cfg.Capacity),
+		Cache:        cache,
+		GTD:          make([]flash.PPN, nTP),
+		entriesPerTP: per,
+		tracker:      cfg.Tracker,
+		policy:       cfg.Policy,
+	}
+	if cfg.Policy == PolicyLearned {
+		m.li = newLearnedIndex(int(nTP), cfg.StrideHint)
+	}
+	for i := range m.Table {
+		m.Table[i] = flash.InvalidPPN
+	}
+	for i := range m.GTD {
+		m.GTD[i] = flash.InvalidPPN
+	}
+	return m, nil
+}
+
+// Stats returns the accumulated translation overhead counters.
+func (m *Engine) Stats() Stats { return m.stats }
+
+// Policy reports the translation policy in effect.
+func (m *Engine) Policy() Policy { return m.policy }
+
+// SetRecorder attaches (or, with nil, detaches) an observability recorder
+// for cache hit/miss/evict/write-back and translation-traffic events.
+func (m *Engine) SetRecorder(r obs.Recorder) { m.rec = r }
+
+// EntriesPerTP returns how many mapping entries one translation page holds.
+func (m *Engine) EntriesPerTP() int { return m.entriesPerTP }
+
+// TVPN returns the translation-page number covering lpn.
+func (m *Engine) TVPN(lpn ftl.LPN) int64 { return int64(lpn) / int64(m.entriesPerTP) }
+
+// TranslationPages returns the number of translation pages in the GTD.
+func (m *Engine) TranslationPages() int { return len(m.GTD) }
+
+// LearnedSegments reports the live learned-segment count (0 unless the
+// learned policy is active). Tests and telemetry use it.
+func (m *Engine) LearnedSegments() int {
+	if m.li == nil {
+		return 0
+	}
+	return m.li.segments()
+}
+
+// Resolve ensures lpn's mapping is present in the cache, charging any
+// translation-page traffic a miss incurs (dirty-victim write-back, then
+// fetch). Under the learned policy a correct, OOB-verified prediction makes
+// the fetch free. It returns the time address translation completes.
+func (m *Engine) Resolve(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	if _, ok := m.Cache.Get(lpn); ok {
+		if m.rec != nil {
+			m.rec.RecordEvent(obs.EvCMTHit, ready)
+		}
+		return ready, nil
+	}
+	if m.rec != nil {
+		m.rec.RecordEvent(obs.EvCMTMiss, ready)
+	}
+	t := ready
+	victim, evicted := m.Cache.Insert(lpn, m.Table[lpn], false)
+	if evicted {
+		m.stats.Evictions++
+		if m.rec != nil {
+			m.rec.RecordEvent(obs.EvCMTEvict, t)
+		}
+		if victim.Dirty {
+			m.stats.DirtyEvictions++
+			var err error
+			t, err = m.writeBack(victim.LPN, t)
+			if err != nil {
+				return 0, err
+			}
+			if m.rec != nil {
+				m.rec.RecordEvent(obs.EvCMTWriteback, t)
+			}
+		}
+	}
+	// Fetch the mapping from its translation page, if one has ever been
+	// persisted; a never-written region costs nothing.
+	tvpn := m.TVPN(lpn)
+	if tp := m.GTD[tvpn]; tp != flash.InvalidPPN {
+		if m.li != nil {
+			var skip bool
+			var err error
+			skip, t, err = m.tryLearned(tvpn, lpn, t)
+			if err != nil {
+				return 0, err
+			}
+			if skip {
+				return t, nil
+			}
+		}
+		end, err := m.dev.ReadPage(tp, t, flash.CauseMap)
+		if err != nil {
+			return 0, err
+		}
+		m.stats.TransReads++
+		if m.rec != nil {
+			m.rec.RecordEvent(obs.EvTransRead, end)
+		}
+		t = end
+	}
+	return t, nil
+}
+
+// tryLearned consults the learned index for a missed mapping. A prediction
+// matching the authoritative table is what a real controller observes when
+// the predicted page's OOB tag names the wanted LPN: the mapping is
+// confirmed without touching the translation page, so the fetch is skipped.
+// A refuted prediction charges the wasted verification read (when the
+// predicted page is physically readable) and falls back to the normal fetch,
+// dropping the stale segment.
+func (m *Engine) tryLearned(tvpn int64, lpn ftl.LPN, t sim.Time) (skip bool, _ sim.Time, _ error) {
+	pred, ok := m.li.predict(tvpn, lpn)
+	if !ok {
+		return false, t, nil
+	}
+	if pred == m.Table[lpn] {
+		m.stats.LearnedHits++
+		if m.rec != nil {
+			m.rec.RecordEvent(obs.EvLearnedHit, t)
+		}
+		return true, t, nil
+	}
+	m.stats.LearnedFalse++
+	m.li.invalidate(tvpn, lpn)
+	if pred >= 0 && int64(pred) < m.dev.Geometry().TotalPages() && m.dev.PageState(pred) == flash.PageValid {
+		end, err := m.dev.ReadPage(pred, t, flash.CauseMap)
+		if err != nil {
+			return false, 0, err
+		}
+		t = end
+	}
+	return false, t, nil
+}
+
+// writeBack performs the read-modify-write of the translation page covering
+// lpn (§III.D lines 7-9: consult the GTD, read, update, re-write to a new
+// physical location, update the GTD). The rewrite persists the current
+// authoritative table, so it also absorbs any lazy GC redirects and batched
+// dirty mappings covering the same page. Under the learned policy the
+// persisted span is also the training set: the page's segments refit here.
+func (m *Engine) writeBack(lpn ftl.LPN, ready sim.Time) (sim.Time, error) {
+	tvpn := m.TVPN(lpn)
+	t := ready
+	old := m.GTD[tvpn]
+	if old != flash.InvalidPPN {
+		end, err := m.dev.ReadPage(old, t, flash.CauseMap)
+		if err != nil {
+			return 0, err
+		}
+		m.stats.TransReads++
+		if m.rec != nil {
+			m.rec.RecordEvent(obs.EvTransRead, end)
+		}
+		t = end
+	}
+	ppn, t, err := m.placer.PlacePage(ftl.EncodeTrans(tvpn), t)
+	if err != nil {
+		return 0, err
+	}
+	// Placement may have garbage-collected the plane and relocated (or
+	// erased the block of) the very translation page we are superseding;
+	// re-read its location before invalidating.
+	old = m.GTD[tvpn]
+	end, err := m.dev.WritePage(ppn, ftl.EncodeTrans(tvpn), t, flash.CauseMap)
+	if err != nil {
+		return 0, err
+	}
+	m.stats.TransWrites++
+	if m.rec != nil {
+		m.rec.RecordEvent(obs.EvTransWrite, end)
+	}
+	if old != flash.InvalidPPN {
+		if err := m.dev.Invalidate(old); err != nil {
+			return 0, err
+		}
+		m.tracker.Invalidated(m.dev.Geometry().BlockOf(old))
+	}
+	m.GTD[tvpn] = ppn
+	// DFTL's batch update: the rewrite persisted every cached dirty mapping
+	// of this translation page, so clean them all.
+	m.stats.BatchCleaned += int64(m.Cache.CleanPage(tvpn))
+	if m.li != nil {
+		lo := ftl.LPN(tvpn) * ftl.LPN(m.entriesPerTP)
+		hi := lo + ftl.LPN(m.entriesPerTP)
+		if hi > ftl.LPN(len(m.Table)) {
+			hi = ftl.LPN(len(m.Table))
+		}
+		m.li.train(tvpn, lo, hi, m.Table)
+	}
+	return end, nil
+}
+
+// RecordWrite commits a host write: the table points at newPPN and the cache
+// entry (present after Resolve) becomes dirty. The superseded page, if any,
+// is invalidated. It returns the old physical page or InvalidPPN.
+func (m *Engine) RecordWrite(lpn ftl.LPN, newPPN flash.PPN) (flash.PPN, error) {
+	old := m.Table[lpn]
+	m.Table[lpn] = newPPN
+	if !m.Cache.Update(lpn, newPPN, true) {
+		return flash.InvalidPPN, fmt.Errorf("translate: RecordWrite of unresolved lpn %d", lpn)
+	}
+	if m.li != nil {
+		// A random overwrite breaks the progression its segment learned;
+		// drop it rather than letting it mispredict until retraining.
+		m.li.invalidate(m.TVPN(lpn), lpn)
+	}
+	if old != flash.InvalidPPN {
+		if err := m.dev.Invalidate(old); err != nil {
+			return flash.InvalidPPN, err
+		}
+		m.tracker.Invalidated(m.dev.Geometry().BlockOf(old))
+	}
+	return old, nil
+}
+
+// RedirectMoved updates mappings after garbage collection relocated pages.
+// Relocated translation pages repoint the GTD; data pages whose mapping is
+// cached are updated in the cache (dirty, flushed at eviction). Uncached
+// data pages update only the in-SRAM table: their on-flash translation page
+// goes stale until its next write-back rewrites it wholesale. This is the
+// lazy, OOB-backed scheme real controllers use — every physical page carries
+// its logical number in the spare area (the device model stores it), so a
+// stale translation entry is recoverable and need not be rewritten per move.
+// Rewriting translation pages per GC move instead creates a feedback loop
+// with gain above one (each move spawns a translation write, which consumes
+// a page, which forces more GC) that collapses every configuration under
+// sustained collection.
+func (m *Engine) RedirectMoved(moved []ftl.Moved, ready sim.Time) (sim.Time, error) {
+	for _, mv := range moved {
+		if ftl.IsTrans(mv.Stored) {
+			m.GTD[ftl.DecodeTrans(mv.Stored)] = mv.New
+			continue
+		}
+		lpn := ftl.LPN(mv.Stored)
+		m.Table[lpn] = mv.New
+		if m.li != nil {
+			// The relocation moved the page off its learned progression.
+			m.li.invalidate(m.TVPN(lpn), lpn)
+		}
+		if !m.Cache.Update(lpn, mv.New, true) {
+			m.stats.LazyRedirects++
+		}
+	}
+	return ready, nil
+}
+
+// State is a deep copy of an engine's mutable state, for checkpoint/fork.
+// The placer and tracker pointers are construction-time wiring, not state,
+// and survive a restore untouched.
+type State struct {
+	table   []flash.PPN
+	cache   CacheState
+	gtd     []flash.PPN
+	learned learnedState
+	stats   Stats
+}
+
+// Snapshot captures the mapping table, cache, GTD, learned segments, and
+// counters.
+func (m *Engine) Snapshot() State {
+	return State{
+		table:   append([]flash.PPN(nil), m.Table...),
+		cache:   m.Cache.Snapshot(),
+		gtd:     append([]flash.PPN(nil), m.GTD...),
+		learned: m.li.snapshot(),
+		stats:   m.stats,
+	}
+}
+
+// Restore rewinds the engine to a snapshot of the same shape.
+func (m *Engine) Restore(s State) {
+	copy(m.Table, s.table)
+	m.Cache.Restore(s.cache)
+	copy(m.GTD, s.gtd)
+	m.li.restore(s.learned)
+	m.stats = s.stats
+}
+
+// Retarget repoints the engine's placer and invalidation tracker; recovery
+// uses it after rebuilding those structures from an OOB scan.
+func (m *Engine) Retarget(placer ftl.Placer, tracker *ftl.Tracker) {
+	m.placer = placer
+	m.tracker = tracker
+}
+
+// AdoptState installs a recovered table and GTD into the engine (the cache
+// starts cold, as SRAM is lost at power-off). Learned segments are dropped
+// too — they retrain lazily as translation-page write-backs resume.
+func (m *Engine) AdoptState(table, gtd []flash.PPN) error {
+	if len(table) != len(m.Table) || len(gtd) != len(m.GTD) {
+		return fmt.Errorf("translate: recovered state shape %d/%d does not match engine %d/%d",
+			len(table), len(gtd), len(m.Table), len(m.GTD))
+	}
+	copy(m.Table, table)
+	copy(m.GTD, gtd)
+	if m.li != nil {
+		m.li.reset()
+	}
+	return nil
+}

@@ -1,14 +1,23 @@
-package ftl
+package translate
 
 import (
 	"testing"
 
 	"dloop/internal/flash"
+	"dloop/internal/ftl"
 	"dloop/internal/sim"
 )
 
+func testGeo() flash.Geometry {
+	return flash.Geometry{
+		Channels: 2, PackagesPerChannel: 1, ChipsPerPackage: 2,
+		DiesPerChip: 1, PlanesPerDie: 2, BlocksPerPlane: 8,
+		PagesPerBlock: 4, PageSize: 2048,
+	}
+}
+
 // seqPlacer hands out every physical page in order — a minimal Placer for
-// exercising the Mapper without garbage collection.
+// exercising the engine without garbage collection.
 type seqPlacer struct {
 	dev  *flash.Device
 	next flash.PPN
@@ -20,23 +29,65 @@ func (p *seqPlacer) PlacePage(stored int64, ready sim.Time) (flash.PPN, sim.Time
 	return ppn, ready, nil
 }
 
-func newTestMapper(t *testing.T, cmtEntries int) (*Mapper, *flash.Device, *seqPlacer) {
+// splitPlacer keeps DFTL-style twin write points: data pages ascend from 0,
+// translation pages from a block-aligned region above them. Data PPNs then
+// advance in lockstep with LPNs, the progression the learned index exists to
+// capture.
+type splitPlacer struct {
+	data, trans flash.PPN
+}
+
+func (p *splitPlacer) PlacePage(stored int64, ready sim.Time) (flash.PPN, sim.Time, error) {
+	if ftl.IsTrans(stored) {
+		ppn := p.trans
+		p.trans++
+		return ppn, ready, nil
+	}
+	ppn := p.data
+	p.data++
+	return ppn, ready, nil
+}
+
+func newLearnedTestEngine(t *testing.T, cmtEntries int) (*Engine, *flash.Device, *splitPlacer) {
 	t.Helper()
 	dev, err := flash.NewDevice(testGeo(), flash.DefaultTiming())
 	if err != nil {
 		t.Fatal(err)
 	}
-	placer := &seqPlacer{dev: dev}
-	tr := NewTracker(testGeo())
-	m, err := NewMapper(dev, placer, tr, 64, cmtEntries)
+	placer := &splitPlacer{trans: 128} // block-aligned, beyond the data span
+	tr := ftl.NewTracker(testGeo())
+	m, err := NewEngine(Config{
+		Dev: dev, Placer: placer, Tracker: tr,
+		Capacity: 64, CMTEntries: cmtEntries, Policy: PolicyLearned,
+		StrideHint: 1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return m, dev, placer
 }
 
-func TestMapperGeometryDerived(t *testing.T) {
-	m, _, _ := newTestMapper(t, 8)
+func newTestEngine(t *testing.T, cmtEntries int, policy Policy) (*Engine, *flash.Device, *seqPlacer) {
+	t.Helper()
+	dev, err := flash.NewDevice(testGeo(), flash.DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	placer := &seqPlacer{dev: dev}
+	tr := ftl.NewTracker(testGeo())
+	m, err := NewEngine(Config{
+		Dev: dev, Placer: placer, Tracker: tr,
+		Capacity: 64, CMTEntries: cmtEntries, Policy: policy,
+		StrideHint: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev, placer
+}
+
+func TestEngineGeometryDerived(t *testing.T) {
+	m, _, _ := newTestEngine(t, 8, PolicySLRU)
 	if m.EntriesPerTP() != 2048/8 {
 		t.Fatalf("EntriesPerTP = %d", m.EntriesPerTP())
 	}
@@ -46,25 +97,30 @@ func TestMapperGeometryDerived(t *testing.T) {
 	if m.TVPN(0) != 0 || m.TVPN(63) != 0 {
 		t.Fatal("TVPN wrong")
 	}
-}
-
-func TestMapperResolveMissIsFreeWhenNothingPersisted(t *testing.T) {
-	m, _, _ := newTestMapper(t, 8)
-	end, err := m.Resolve(5, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if end != 100 {
-		t.Fatalf("unpersisted miss cost time: %v", end)
-	}
-	// Now cached: a second resolve is also free.
-	if end, _ := m.Resolve(5, 200); end != 200 {
-		t.Fatal("hit cost time")
+	if m.Policy() != PolicySLRU {
+		t.Fatalf("Policy = %v", m.Policy())
 	}
 }
 
-func TestMapperWriteEvictFetchCycle(t *testing.T) {
-	m, dev, _ := newTestMapper(t, 2)
+func TestEngineResolveMissIsFreeWhenNothingPersisted(t *testing.T) {
+	for _, policy := range []Policy{PolicySLRU, PolicyLRU, PolicyLearned} {
+		m, _, _ := newTestEngine(t, 8, policy)
+		end, err := m.Resolve(5, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end != 100 {
+			t.Fatalf("%v: unpersisted miss cost time: %v", policy, end)
+		}
+		// Now cached: a second resolve is also free.
+		if end, _ := m.Resolve(5, 200); end != 200 {
+			t.Fatalf("%v: hit cost time", policy)
+		}
+	}
+}
+
+func TestEngineWriteEvictFetchCycle(t *testing.T) {
+	m, dev, _ := newTestEngine(t, 2, PolicySLRU)
 	tm := dev.Timing()
 	pageSize := dev.Geometry().PageSize
 
@@ -86,7 +142,7 @@ func TestMapperWriteEvictFetchCycle(t *testing.T) {
 		t.Fatal("table not updated")
 	}
 
-	// Fill the 2-entry CMT so resolving a third lpn evicts dirty lpn 0,
+	// Fill the 2-entry cache so resolving a third lpn evicts dirty lpn 0,
 	// forcing a translation-page write (no prior page to read: GTD empty).
 	if _, err := m.Resolve(1, 0); err != nil {
 		t.Fatal(err)
@@ -126,11 +182,11 @@ func TestMapperWriteEvictFetchCycle(t *testing.T) {
 	}
 }
 
-func TestMapperBatchWriteback(t *testing.T) {
-	m, dev, _ := newTestMapper(t, 4)
+func TestEngineBatchWriteback(t *testing.T) {
+	m, dev, _ := newTestEngine(t, 4, PolicySLRU)
 	// Dirty three mappings in the same translation page.
 	var at sim.Time
-	for lpn := LPN(0); lpn < 3; lpn++ {
+	for lpn := ftl.LPN(0); lpn < 3; lpn++ {
 		if _, err := m.Resolve(lpn, at); err != nil {
 			t.Fatal(err)
 		}
@@ -171,18 +227,18 @@ func TestMapperBatchWriteback(t *testing.T) {
 	}
 }
 
-func TestMapperRecordWriteRequiresResolve(t *testing.T) {
-	m, _, _ := newTestMapper(t, 4)
+func TestEngineRecordWriteRequiresResolve(t *testing.T) {
+	m, _, _ := newTestEngine(t, 4, PolicySLRU)
 	if _, err := m.RecordWrite(7, 1); err == nil {
 		t.Fatal("RecordWrite without Resolve accepted")
 	}
 }
 
-func TestMapperRedirectMoved(t *testing.T) {
-	m, dev, _ := newTestMapper(t, 4)
+func TestEngineRedirectMoved(t *testing.T) {
+	m, dev, _ := newTestEngine(t, 4, PolicySLRU)
 	// Set up two data pages and one translation page on flash.
 	var at sim.Time
-	for lpn := LPN(0); lpn < 2; lpn++ {
+	for lpn := ftl.LPN(0); lpn < 2; lpn++ {
 		if _, err := m.Resolve(lpn, at); err != nil {
 			t.Fatal(err)
 		}
@@ -194,13 +250,13 @@ func TestMapperRedirectMoved(t *testing.T) {
 		at = end
 	}
 
-	// Simulate GC moving lpn 0 (cached: CMT update, dirty, no flash traffic)
-	// and a translation page (GTD repoint only).
+	// Simulate GC moving lpn 0 (cached: cache update, dirty, no flash
+	// traffic) and a translation page (GTD repoint only).
 	oldPPN := m.Table[0]
 	newPPN, _, _ := m.placer.PlacePage(0, at)
 	at, _ = dev.CopyBack(oldPPN, newPPN, at, flash.CauseGC)
 	transWritesBefore := m.Stats().TransWrites
-	end, err := m.RedirectMoved([]Moved{{Stored: 0, New: newPPN}}, at)
+	end, err := m.RedirectMoved([]ftl.Moved{{Stored: 0, New: newPPN}}, at)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +272,7 @@ func TestMapperRedirectMoved(t *testing.T) {
 
 	// GTD repoint for a moved translation page.
 	m.GTD[0] = 40
-	end, err = m.RedirectMoved([]Moved{{Stored: EncodeTrans(0), New: 41}}, end)
+	end, err = m.RedirectMoved([]ftl.Moved{{Stored: ftl.EncodeTrans(0), New: 41}}, end)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,8 +284,8 @@ func TestMapperRedirectMoved(t *testing.T) {
 
 	// A non-cached data move updates the table lazily: no flash traffic, an
 	// OOB-backed stale translation page (see RedirectMoved's doc comment).
-	// Evict lpn 1 from CMT by filling it.
-	for l := LPN(20); l < 24; l++ {
+	// Evict lpn 1 from the cache by filling it.
+	for l := ftl.LPN(20); l < 24; l++ {
 		if _, err := m.Resolve(l, end); err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +294,7 @@ func TestMapperRedirectMoved(t *testing.T) {
 	new1, _, _ := m.placer.PlacePage(1, end)
 	end2, _ := dev.CopyBack(old1, new1, end, flash.CauseGC)
 	before := m.Stats().TransWrites
-	got, err := m.RedirectMoved([]Moved{{Stored: 1, New: new1}}, end2)
+	got, err := m.RedirectMoved([]ftl.Moved{{Stored: 1, New: new1}}, end2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,11 +312,11 @@ func TestMapperRedirectMoved(t *testing.T) {
 	}
 }
 
-func TestMapperLazyRedirectPersistsAtNextWriteBack(t *testing.T) {
-	m, dev, _ := newTestMapper(t, 2)
+func TestEngineLazyRedirectPersistsAtNextWriteBack(t *testing.T) {
+	m, dev, _ := newTestEngine(t, 2, PolicySLRU)
 	// Persist lpn 0, evict it (dirty), so a translation page exists.
 	var at sim.Time
-	for _, lpn := range []LPN{0, 1, 2} {
+	for _, lpn := range []ftl.LPN{0, 1, 2} {
 		if _, err := m.Resolve(lpn, at); err != nil {
 			t.Fatal(err)
 		}
@@ -274,14 +330,14 @@ func TestMapperLazyRedirectPersistsAtNextWriteBack(t *testing.T) {
 	if m.GTD[0] == flash.InvalidPPN {
 		t.Fatal("no translation page persisted yet")
 	}
-	// Lazily redirect uncached lpn 0 (evicted by the 2-entry CMT).
-	if m.CMT.Contains(0) {
+	// Lazily redirect uncached lpn 0 (evicted by the 2-entry cache).
+	if m.Cache.Contains(0) {
 		t.Fatal("test setup: lpn 0 should be evicted")
 	}
 	old := m.Table[0]
 	dst, _, _ := m.placer.PlacePage(0, at)
 	at, _ = dev.CopyBack(old, dst, at, flash.CauseGC)
-	if _, err := m.RedirectMoved([]Moved{{Stored: 0, New: dst}}, at); err != nil {
+	if _, err := m.RedirectMoved([]ftl.Moved{{Stored: 0, New: dst}}, at); err != nil {
 		t.Fatal(err)
 	}
 	lazy := m.Stats().LazyRedirects
@@ -300,5 +356,85 @@ func TestMapperLazyRedirectPersistsAtNextWriteBack(t *testing.T) {
 	}
 	if m.Table[0] != dst {
 		t.Fatal("table lost the redirect")
+	}
+}
+
+func TestEngineSnapshotRestore(t *testing.T) {
+	for _, policy := range []Policy{PolicySLRU, PolicyLearned} {
+		m, dev, _ := newTestEngine(t, 4, policy)
+		var at sim.Time
+		for lpn := ftl.LPN(0); lpn < 8; lpn++ {
+			if _, err := m.Resolve(lpn, at); err != nil {
+				t.Fatal(err)
+			}
+			ppn, t2, _ := m.placer.PlacePage(int64(lpn), at)
+			end, _ := dev.WritePage(ppn, int64(lpn), t2, flash.CauseHost)
+			if _, err := m.RecordWrite(lpn, ppn); err != nil {
+				t.Fatal(err)
+			}
+			at = end
+		}
+		snap := m.Snapshot()
+		tableAt := append([]flash.PPN(nil), m.Table...)
+		statsAt := m.Stats()
+		segsAt := m.LearnedSegments()
+
+		// Mutate past the snapshot.
+		for lpn := ftl.LPN(8); lpn < 16; lpn++ {
+			if _, err := m.Resolve(lpn, at); err != nil {
+				t.Fatal(err)
+			}
+			ppn, t2, _ := m.placer.PlacePage(int64(lpn), at)
+			end, _ := dev.WritePage(ppn, int64(lpn), t2, flash.CauseHost)
+			if _, err := m.RecordWrite(lpn, ppn); err != nil {
+				t.Fatal(err)
+			}
+			at = end
+		}
+
+		m.Restore(snap)
+		for i, want := range tableAt {
+			if m.Table[i] != want {
+				t.Fatalf("%v: Table[%d] = %d after restore, want %d", policy, i, m.Table[i], want)
+			}
+		}
+		if m.Stats() != statsAt {
+			t.Fatalf("%v: stats not restored: %+v vs %+v", policy, m.Stats(), statsAt)
+		}
+		if m.LearnedSegments() != segsAt {
+			t.Fatalf("%v: learned segments %d after restore, want %d", policy, m.LearnedSegments(), segsAt)
+		}
+	}
+}
+
+func TestEngineAdoptStateResetsLearned(t *testing.T) {
+	m, dev, _ := newLearnedTestEngine(t, 2)
+	var at sim.Time
+	// Enough sequential writes through a tiny cache to force write-backs
+	// (and therefore training).
+	for lpn := ftl.LPN(0); lpn < 32; lpn++ {
+		if _, err := m.Resolve(lpn, at); err != nil {
+			t.Fatal(err)
+		}
+		ppn, t2, _ := m.placer.PlacePage(int64(lpn), at)
+		end, _ := dev.WritePage(ppn, int64(lpn), t2, flash.CauseHost)
+		if _, err := m.RecordWrite(lpn, ppn); err != nil {
+			t.Fatal(err)
+		}
+		at = end
+	}
+	if m.LearnedSegments() == 0 {
+		t.Fatal("test setup: no segments trained")
+	}
+	table := append([]flash.PPN(nil), m.Table...)
+	gtd := append([]flash.PPN(nil), m.GTD...)
+	if err := m.AdoptState(table, gtd); err != nil {
+		t.Fatal(err)
+	}
+	if m.LearnedSegments() != 0 {
+		t.Fatal("AdoptState kept learned segments; SRAM state must not survive power loss")
+	}
+	if err := m.AdoptState(table[:10], gtd); err == nil {
+		t.Fatal("mismatched shapes accepted")
 	}
 }

@@ -378,6 +378,15 @@ func (c *Collector) foldGauges(dst *Registry) {
 		}
 	}
 	dst.Gauge("sim.queue.highwater").Set(float64(hw))
+	hits := c.events[EvCMTHit].Value()
+	misses := c.events[EvCMTMiss].Value()
+	for _, ch := range c.children {
+		hits += ch.col.events[EvCMTHit].Value()
+		misses += ch.col.events[EvCMTMiss].Value()
+	}
+	if hits+misses > 0 {
+		dst.Gauge("cmt.hitrate").Set(float64(hits) / float64(hits+misses))
+	}
 	if c.utilSrc != nil {
 		planes, chips, channels := c.utilSrc()
 		fill := func(name, label string, ds []sim.Duration) {

@@ -111,6 +111,9 @@ const (
 	EvFullMerge
 	EvGCCopyBack
 	EvGCExternalMove
+	EvTransRead
+	EvTransWrite
+	EvLearnedHit
 	NumEventKinds
 )
 
@@ -136,6 +139,12 @@ func (e EventKind) String() string {
 		return "gc.copyback"
 	case EvGCExternalMove:
 		return "gc.external_move"
+	case EvTransRead:
+		return "map.trans_reads"
+	case EvTransWrite:
+		return "map.trans_writes"
+	case EvLearnedHit:
+		return "map.learned_hits"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(e))
 	}

@@ -15,6 +15,7 @@ import (
 	"dloop/internal/ftl/dloop"
 	"dloop/internal/ftl/fast"
 	"dloop/internal/ftl/pagemap"
+	"dloop/internal/ftl/translate"
 )
 
 // FTL scheme names accepted by Config.FTL. The paper evaluates the first
@@ -59,6 +60,11 @@ type Config struct {
 	// "windowed", or "fifo" (default log-block eviction of FAST/BAST).
 	// Empty keeps each scheme's historical default.
 	GCPolicy string
+	// TranslatePolicy selects the address-translation policy of the
+	// demand-paged schemes (DLOOP, DFTL): "slru" (default), "lru", or
+	// "learned" (see internal/ftl/translate). Other schemes keep their
+	// all-in-SRAM maps and reject a non-default setting.
+	TranslatePolicy string
 	// DisableCopyBack runs DLOOP's E5 ablation (external GC moves).
 	DisableCopyBack bool
 	// AdaptiveGC runs DLOOP's E7 extension (hot-plane-aware thresholds).
@@ -247,6 +253,7 @@ func buildFTL(dev *flash.Device, cfg Config, extra int) (ftl.FTL, error) {
 	case SchemeDLOOP:
 		return dloop.New(dev, dloop.Config{
 			CMTEntries:      cfg.CMTEntries,
+			TranslatePolicy: cfg.TranslatePolicy,
 			GCThreshold:     cfg.GCThreshold,
 			ExtraPerPlane:   extra,
 			DisableCopyBack: cfg.DisableCopyBack,
@@ -256,10 +263,11 @@ func buildFTL(dev *flash.Device, cfg Config, extra int) (ftl.FTL, error) {
 		})
 	case SchemeDFTL:
 		return dftl.New(dev, dftl.Config{
-			CMTEntries:    cfg.CMTEntries,
-			GCThreshold:   cfg.GCThreshold,
-			ExtraPerPlane: extra,
-			GCPolicy:      cfg.GCPolicy,
+			CMTEntries:      cfg.CMTEntries,
+			TranslatePolicy: cfg.TranslatePolicy,
+			GCThreshold:     cfg.GCThreshold,
+			ExtraPerPlane:   extra,
+			GCPolicy:        cfg.GCPolicy,
 		})
 	case SchemeFAST:
 		return fast.New(dev, fast.Config{
@@ -291,6 +299,7 @@ func recoverFTL(dev *flash.Device, cfg Config, extra int) (ftl.FTL, error) {
 	case SchemeDLOOP:
 		return dloop.NewRecovered(dev, dloop.Config{
 			CMTEntries:      cfg.CMTEntries,
+			TranslatePolicy: cfg.TranslatePolicy,
 			GCThreshold:     cfg.GCThreshold,
 			ExtraPerPlane:   extra,
 			DisableCopyBack: cfg.DisableCopyBack,
@@ -300,10 +309,11 @@ func recoverFTL(dev *flash.Device, cfg Config, extra int) (ftl.FTL, error) {
 		})
 	case SchemeDFTL:
 		return dftl.NewRecovered(dev, dftl.Config{
-			CMTEntries:    cfg.CMTEntries,
-			GCThreshold:   cfg.GCThreshold,
-			ExtraPerPlane: extra,
-			GCPolicy:      cfg.GCPolicy,
+			CMTEntries:      cfg.CMTEntries,
+			TranslatePolicy: cfg.TranslatePolicy,
+			GCThreshold:     cfg.GCThreshold,
+			ExtraPerPlane:   extra,
+			GCPolicy:        cfg.GCPolicy,
 		})
 	case SchemeFAST:
 		return fast.NewRecovered(dev, fast.Config{
@@ -331,7 +341,18 @@ func recoverFTL(dev *flash.Device, cfg Config, extra int) (ftl.FTL, error) {
 // Build constructs the device and FTL described by cfg — or, with
 // FTLShards > 1, the N-shard multi-queue front end.
 func Build(cfg Config) (*Controller, error) {
+	explicitCMT := cfg.CMTEntries != 0
 	cfg.setDefaults()
+	if _, err := translate.ParsePolicy(cfg.TranslatePolicy); err != nil {
+		return nil, fmt.Errorf("ssd: %w", err)
+	}
+	if p := cfg.TranslatePolicy; p != "" && p != translate.DefaultPolicy {
+		switch cfg.FTL {
+		case SchemeDLOOP, SchemeDFTL, "":
+		default:
+			return nil, fmt.Errorf("ssd: translate policy %q needs a demand-paged scheme (DLOOP or DFTL), not %s", p, cfg.FTL)
+		}
+	}
 	switch cfg.Merge {
 	case "", MergeDeterministic, MergeRelaxed:
 	default:
@@ -349,6 +370,14 @@ func Build(cfg Config) (*Controller, error) {
 	geo, extra, err := resolveGeometry(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if explicitCMT {
+		if cfg.CMTEntries < 2 {
+			return nil, fmt.Errorf("ssd: CMTEntries %d too small (need at least 2)", cfg.CMTEntries)
+		}
+		if space := int64(ftl.ExportedPages(geo, extra)); int64(cfg.CMTEntries) > space {
+			return nil, fmt.Errorf("ssd: CMTEntries %d exceeds the %d-page logical space (the cache would never evict)", cfg.CMTEntries, space)
+		}
 	}
 	timing := flash.DefaultTiming()
 	if cfg.Timing != nil {

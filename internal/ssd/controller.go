@@ -556,6 +556,7 @@ type Result struct {
 	CMTHitRate    float64
 	TransReads    int64
 	TransWrites   int64
+	LearnedHits   int64
 	GCRuns        int64
 	SwitchMerges  int64
 	PartialMerges int64
@@ -608,12 +609,14 @@ func (c *Controller) Result() Result {
 		res.GCRuns = s.GCRuns
 		res.TransReads = s.MapperStats.TransReads
 		res.TransWrites = s.MapperStats.TransWrites
+		res.LearnedHits = s.MapperStats.LearnedHits
 		res.CMTHitRate, _, _ = f.CMTHitRate()
 	case *dftl.DFTL:
 		s := f.Stats()
 		res.GCRuns = s.GCRuns
 		res.TransReads = s.MapperStats.TransReads
 		res.TransWrites = s.MapperStats.TransWrites
+		res.LearnedHits = s.MapperStats.LearnedHits
 		res.CMTHitRate, _, _ = f.CMTHitRate()
 	case *fast.FAST:
 		s := f.Stats()

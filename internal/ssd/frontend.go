@@ -982,11 +982,13 @@ func addFTLStats(f ftl.FTL, res *Result, cmtHits, cmtMisses *int64) {
 		res.GCRuns += s.GCRuns
 		res.TransReads += s.MapperStats.TransReads
 		res.TransWrites += s.MapperStats.TransWrites
+		res.LearnedHits += s.MapperStats.LearnedHits
 	case *dftl.DFTL:
 		s := f.Stats()
 		res.GCRuns += s.GCRuns
 		res.TransReads += s.MapperStats.TransReads
 		res.TransWrites += s.MapperStats.TransWrites
+		res.LearnedHits += s.MapperStats.LearnedHits
 	case *fast.FAST:
 		s := f.Stats()
 		res.SwitchMerges += s.SwitchMerges

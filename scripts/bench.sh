@@ -81,8 +81,8 @@ run_bench() {
 run_bench -run '^$' -bench '^(BenchmarkSimulateThroughput(Observed(MQ)?)?|BenchmarkShardedThroughput|BenchmarkGCHeavy)$' \
     -benchmem -benchtime "$benchtime" -count "$count" .
 run_bench -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
-    ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/workload/ \
-    ./internal/trace/ ./internal/expt/
+    ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/ftl/translate/ \
+    ./internal/workload/ ./internal/trace/ ./internal/expt/
 cat "$raw"
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
