@@ -49,6 +49,7 @@ func main() {
 		epochPages = flag.Int("epoch-pages", 0, "pages per pipeline epoch on the multi-queue front end (0 = default 4096); results are bit-identical across values in deterministic merge")
 		doorbell   = flag.Int("doorbell-batch", 0, "staged page commands per doorbell ring on the multi-queue front end (0 = default 64)")
 		pipeDepth  = flag.Int("pipeline-depth", 0, "multi-queue epoch pipelining: 2 = double-buffered fold overlap (default), 1 = stop-the-world barrier per epoch")
+		warmCache  = flag.String("warmup-cache", "", "directory of persistent warm-up checkpoints, content-addressed by (config, footprint); matching warm-ups restore from disk instead of simulating, fresh ones are published for later runs")
 
 		metricsOut  = flag.String("metrics-out", "", "write the run's observability metrics.json to this file")
 		traceEvents = flag.String("trace-events", "", "write a Chrome trace-event/Perfetto timeline of every flash op to this file")
@@ -109,10 +110,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	wc := &dloop.WarmupCache{Dir: *warmCache, Stats: &dloop.SweepStats{}}
+
 	start := time.Now()
 	var res dloop.Result
 	if *traceFile != "" {
-		res, err = replayFile(cfg, *traceFile, *format, *footprint, ob)
+		res, err = replayFile(cfg, *traceFile, *format, *footprint, wc, ob)
 	} else {
 		p, ok := dloop.WorkloadByName(*traceName)
 		if !ok {
@@ -122,7 +125,7 @@ func main() {
 		if *footprint > 0 {
 			p.FootprintBytes = *footprint << 20
 		}
-		res, err = expt.RunObserved(cfg, p, *requests, *seed, ob.attach)
+		res, err = expt.RunCachedObserved(cfg, p, *requests, *seed, wc, ob.attach)
 	}
 	if err == nil {
 		err = ob.finish()
@@ -130,6 +133,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dloopsim:", err)
 		os.Exit(1)
+	}
+	if *warmCache != "" {
+		fmt.Fprintln(os.Stderr, wc.Stats.Summary())
 	}
 	report(res, time.Since(start))
 }
@@ -242,7 +248,7 @@ func (ob *observer) finish() error {
 	return f.Close()
 }
 
-func replayFile(cfg dloop.Config, path, format string, footprintMiB int64, ob *observer) (dloop.Result, error) {
+func replayFile(cfg dloop.Config, path, format string, footprintMiB int64, wc *dloop.WarmupCache, ob *observer) (dloop.Result, error) {
 	// LoadArena parses the file once into a shared columnar arena; repeated
 	// replays of the same file (and the stats summary below) reuse it.
 	arena, err := trace.LoadArena(path, format)
@@ -261,8 +267,13 @@ func replayFile(cfg dloop.Config, path, format string, footprintMiB int64, ob *o
 	if footprintMiB > 0 {
 		footprint = footprintMiB << 20
 	}
-	if err := c.PreconditionBytes(footprint); err != nil {
-		return dloop.Result{}, err
+	// A cached warm-up replaces the preconditioning simulation when the cache
+	// holds this (config, footprint); otherwise precondition and publish.
+	if !wc.LoadInto(c, cfg, footprint) {
+		if err := c.PreconditionBytes(footprint); err != nil {
+			return dloop.Result{}, err
+		}
+		_ = wc.Save(c, cfg, footprint)
 	}
 	if rec := ob.attach(c); rec != nil {
 		c.SetRecorder(rec)

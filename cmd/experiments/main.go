@@ -44,6 +44,7 @@ func main() {
 		outDir     = flag.String("out", "", "directory for CSV output (optional)")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		noFork     = flag.Bool("no-fork", false, "disable warm-up checkpoint sharing; every cell builds and preconditions its own simulator")
+		warmCache  = flag.String("warmup-cache", "", "directory of persistent warm-up checkpoints, content-addressed by (config, footprint); sweeps restore matching warm-ups instead of simulating them and publish fresh ones for later runs")
 
 		metricsOut  = flag.String("metrics-out", "", "directory receiving one metrics.json per run")
 		traceEvents = flag.String("trace-events", "", "directory receiving one Chrome trace-event document per run")
@@ -84,7 +85,11 @@ func main() {
 		EpochPages:      *epochPages,
 		TranslatePolicy: *translate, CMTEntries: *cmtEntries,
 		MetricsDir: *metricsOut, TraceDir: *traceEvents, SnapshotIntervalMs: *snapshotMs,
-		NoFork: *noFork,
+		NoFork: *noFork, WarmupCache: *warmCache,
+	}
+	stats := &dloop.SweepStats{}
+	if *warmCache != "" {
+		opt.Stats = stats
 	}
 	if *listen != "" {
 		srv, err := httpexport.Listen(*listen)
@@ -104,6 +109,9 @@ func main() {
 	if err := run(*exp, opt, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *warmCache != "" {
+		fmt.Fprintln(os.Stderr, stats.Summary())
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
 }

@@ -1,0 +1,307 @@
+package expt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"dloop/internal/ckpt"
+	"dloop/internal/obs"
+	"dloop/internal/ssd"
+)
+
+// WarmupKey returns the content address of one warm-up prefix: a hex digest
+// of the full simulator configuration (ssd.ConfigDigest, defaults applied,
+// Geometry/Timing by value) and the preconditioned footprint. Cells with
+// equal keys reach bit-identical simulator states after warm-up, so one
+// checkpoint can seed them all — in this process or, through WarmupCache,
+// in any later one.
+func WarmupKey(cfg ssd.Config, footprintBytes int64) string {
+	d := ssd.ConfigDigest(cfg)
+	var buf [sha256.Size + 8]byte
+	copy(buf[:], d[:])
+	binary.LittleEndian.PutUint64(buf[sha256.Size:], uint64(footprintBytes))
+	sum := sha256.Sum256(buf[:])
+	return hex.EncodeToString(sum[:])
+}
+
+// WarmupCache is a content-addressed on-disk store of encoded warm-up
+// checkpoints: one <key>.ckpt container (see internal/ckpt and
+// ssd.EncodeCheckpoint) per (config, footprint) warm-up, published with
+// write-to-temp-then-rename so concurrent writers and readers only ever see
+// complete files. Every load path degrades gracefully — a missing, corrupt,
+// truncated, or version/configuration-mismatched file counts as a miss and
+// the caller simulates the warm-up fresh (then usually overwrites the bad
+// entry).
+type WarmupCache struct {
+	// Dir is the cache directory, created on first store.
+	Dir string
+	// Stats, when non-nil, receives hit/miss/byte counters.
+	Stats *SweepStats
+}
+
+// enabled reports whether the cache can serve anything.
+func (wc *WarmupCache) enabled() bool { return wc != nil && wc.Dir != "" }
+
+func (wc *WarmupCache) path(key string) string {
+	return filepath.Join(wc.Dir, key+".ckpt")
+}
+
+// load builds a controller for cfg and restores the cached warm-up for key
+// into it. Any failure — no file, bad container, configuration mismatch —
+// returns nils and the caller warms up fresh; only a controller build error
+// is surfaced, since fresh warm-up would hit it too.
+func (wc *WarmupCache) load(cfg ssd.Config, key string) (*ssd.Controller, *ssd.Checkpoint, error) {
+	if !wc.enabled() {
+		return nil, nil, nil
+	}
+	data, release, err := ckpt.LoadFile(wc.path(key))
+	if err != nil {
+		wc.Stats.noteMiss()
+		return nil, nil, nil
+	}
+	defer release()
+	c, err := ssd.Build(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("expt: build %s: %w", cfg.FTL, err)
+	}
+	cp, err := c.DecodeCheckpoint(data)
+	if err != nil {
+		c.Close()
+		wc.Stats.noteReject()
+		return nil, nil, nil
+	}
+	if err := c.Restore(cp); err != nil {
+		c.Close()
+		wc.Stats.noteReject()
+		return nil, nil, nil
+	}
+	wc.Stats.noteHit(int64(len(data)))
+	return c, cp, nil
+}
+
+// store encodes cp and publishes it under key atomically. Store failures
+// are counted, not fatal: the sweep already has its in-memory checkpoint.
+func (wc *WarmupCache) store(key string, c *ssd.Controller, cp *ssd.Checkpoint) {
+	if !wc.enabled() {
+		return
+	}
+	n, err := wc.write(key, c, cp)
+	if err != nil {
+		wc.Stats.noteStoreError()
+		return
+	}
+	wc.Stats.noteStore(n)
+}
+
+func (wc *WarmupCache) write(key string, c *ssd.Controller, cp *ssd.Checkpoint) (int64, error) {
+	w := ckpt.NewWriter()
+	defer ckpt.PutWriter(w)
+	data, err := c.AppendCheckpoint(w, cp)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(wc.Dir, 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(wc.Dir, ".ckpt-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), wc.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// LoadInto restores the cached warm-up for (cfg, footprint) into an already
+// built controller, reporting whether it hit. The single-run commands use it
+// to skip preconditioning.
+func (wc *WarmupCache) LoadInto(c *ssd.Controller, cfg ssd.Config, footprintBytes int64) bool {
+	if !wc.enabled() {
+		return false
+	}
+	data, release, err := ckpt.LoadFile(wc.path(WarmupKey(cfg, footprintBytes)))
+	if err != nil {
+		wc.Stats.noteMiss()
+		return false
+	}
+	defer release()
+	cp, err := c.DecodeCheckpoint(data)
+	if err != nil {
+		wc.Stats.noteReject()
+		return false
+	}
+	if err := c.Restore(cp); err != nil {
+		wc.Stats.noteReject()
+		return false
+	}
+	wc.Stats.noteHit(int64(len(data)))
+	return true
+}
+
+// Save checkpoints a freshly warmed controller and publishes it for
+// (cfg, footprint). The error is informative; callers may ignore it.
+func (wc *WarmupCache) Save(c *ssd.Controller, cfg ssd.Config, footprintBytes int64) error {
+	if !wc.enabled() {
+		return nil
+	}
+	cp, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	n, err := wc.write(WarmupKey(cfg, footprintBytes), c, cp)
+	if err != nil {
+		wc.Stats.noteStoreError()
+		return err
+	}
+	wc.Stats.noteStore(n)
+	return nil
+}
+
+// SweepStats accumulates sweep-execution counters: warm-up cache traffic and
+// the fork scheduler's behavior. All methods are safe for concurrent use and
+// safe on a nil receiver, so instrumented and uninstrumented call sites share
+// one code path. One SweepStats may span several sweeps; counters only grow.
+type SweepStats struct {
+	cacheHits    int64 // warm-ups restored from the cache
+	cacheMisses  int64 // cache files absent
+	cacheRejects int64 // cache files rejected: corrupt, truncated, or mismatched
+	storeErrors  int64 // failed cache publications
+	bytesRead    int64 // encoded checkpoint bytes loaded
+	bytesWritten int64 // encoded checkpoint bytes published
+	warmups      int64 // warm-up prefixes simulated for a shared group
+	forkedCells  int64 // cells served from a shared warm-up checkpoint
+	freshCells   int64 // cells that built and warmed their own simulator
+	forkReuses   int64 // forked cells restored into the worker's cached controller
+	forkRebuilds int64 // forked cells that had to build a controller first
+}
+
+func (s *SweepStats) noteHit(bytes int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.cacheHits, 1)
+	atomic.AddInt64(&s.bytesRead, bytes)
+}
+
+func (s *SweepStats) noteMiss() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.cacheMisses, 1)
+}
+
+func (s *SweepStats) noteReject() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.cacheRejects, 1)
+}
+
+func (s *SweepStats) noteStoreError() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.storeErrors, 1)
+}
+
+func (s *SweepStats) noteStore(bytes int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.bytesWritten, bytes)
+}
+
+func (s *SweepStats) noteWarmup() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.warmups, 1)
+}
+
+func (s *SweepStats) noteForked() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.forkedCells, 1)
+}
+
+func (s *SweepStats) noteFresh() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.freshCells, 1)
+}
+
+func (s *SweepStats) noteForkReuse() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.forkReuses, 1)
+}
+
+func (s *SweepStats) noteForkRebuild() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.forkRebuilds, 1)
+}
+
+// CacheHits returns the number of warm-ups restored from the cache.
+func (s *SweepStats) CacheHits() int64 { return atomic.LoadInt64(&s.cacheHits) }
+
+// CacheMisses returns the number of absent cache entries.
+func (s *SweepStats) CacheMisses() int64 { return atomic.LoadInt64(&s.cacheMisses) }
+
+// CacheRejects returns the number of rejected (corrupt or mismatched) files.
+func (s *SweepStats) CacheRejects() int64 { return atomic.LoadInt64(&s.cacheRejects) }
+
+// Warmups returns the number of warm-up prefixes simulated fresh for shared
+// groups.
+func (s *SweepStats) Warmups() int64 { return atomic.LoadInt64(&s.warmups) }
+
+// ForkedCells returns the number of cells served from a shared warm-up.
+func (s *SweepStats) ForkedCells() int64 { return atomic.LoadInt64(&s.forkedCells) }
+
+// FreshCells returns the number of cells that warmed up on their own.
+func (s *SweepStats) FreshCells() int64 { return atomic.LoadInt64(&s.freshCells) }
+
+// Publish copies the counters into an observability registry under the
+// expt.* namespace (see internal/obs).
+func (s *SweepStats) Publish(r *obs.Registry) {
+	r.Counter("expt.warmup.cache.hits").Add(atomic.LoadInt64(&s.cacheHits))
+	r.Counter("expt.warmup.cache.misses").Add(atomic.LoadInt64(&s.cacheMisses))
+	r.Counter("expt.warmup.cache.rejects").Add(atomic.LoadInt64(&s.cacheRejects))
+	r.Counter("expt.warmup.cache.store_errors").Add(atomic.LoadInt64(&s.storeErrors))
+	r.Counter("expt.warmup.cache.read_bytes").Add(atomic.LoadInt64(&s.bytesRead))
+	r.Counter("expt.warmup.cache.written_bytes").Add(atomic.LoadInt64(&s.bytesWritten))
+	r.Counter("expt.warmup.simulated").Add(atomic.LoadInt64(&s.warmups))
+	r.Counter("expt.cells.forked").Add(atomic.LoadInt64(&s.forkedCells))
+	r.Counter("expt.cells.fresh").Add(atomic.LoadInt64(&s.freshCells))
+	r.Counter("expt.fork.controller_reuses").Add(atomic.LoadInt64(&s.forkReuses))
+	r.Counter("expt.fork.controller_rebuilds").Add(atomic.LoadInt64(&s.forkRebuilds))
+}
+
+// Summary renders the counters as one human-readable line.
+func (s *SweepStats) Summary() string {
+	return fmt.Sprintf(
+		"warmup cache: %d hits / %d misses / %d rejects (%.1f MB read, %.1f MB written); cells: %d forked / %d fresh; warmups simulated: %d",
+		atomic.LoadInt64(&s.cacheHits), atomic.LoadInt64(&s.cacheMisses), atomic.LoadInt64(&s.cacheRejects),
+		float64(atomic.LoadInt64(&s.bytesRead))/(1<<20), float64(atomic.LoadInt64(&s.bytesWritten))/(1<<20),
+		atomic.LoadInt64(&s.forkedCells), atomic.LoadInt64(&s.freshCells), atomic.LoadInt64(&s.warmups))
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dloop/internal/obs"
@@ -103,9 +104,22 @@ type Options struct {
 
 	// NoFork disables warm-up sharing: every sweep cell builds and
 	// preconditions its own simulator instead of forking a checkpoint taken
-	// after one shared warm-up. Forked and fresh runs are bit-identical, so
-	// this exists only for debugging and for A/B-ing the optimisation itself.
+	// after one shared warm-up. It also bypasses WarmupCache, so a NoFork
+	// sweep is always the from-scratch reference. Forked and fresh runs are
+	// bit-identical, so this exists only for debugging and for A/B-ing the
+	// optimisation itself.
 	NoFork bool
+	// WarmupCache, when set, is a directory of persistent warm-up checkpoints
+	// (see WarmupCache): before simulating a group's warm-up prefix the sweep
+	// looks for <WarmupKey>.ckpt there, and after a fresh warm-up it publishes
+	// one. Entries are content-addressed by configuration digest and
+	// footprint, so a stale or foreign file can never poison a run — it is
+	// rejected on load and overwritten. Share one directory across processes
+	// and sweeps to make repeated sweeps skip preconditioning entirely.
+	WarmupCache string
+	// Stats, when non-nil, accumulates warm-up cache and fork-scheduler
+	// counters across every sweep run with these Options.
+	Stats *SweepStats
 }
 
 // observes reports whether any observability output is requested.
@@ -172,6 +186,32 @@ func RunObserved(cfg ssd.Config, profile workload.Profile, requests int, seed in
 		return ssd.Result{}, err
 	}
 	defer c.Close()
+	return resumeObserved(c, cfg, profile, requests, seed, attach)
+}
+
+// RunCachedObserved is RunObserved backed by a persistent warm-up cache: when
+// the cache holds a checkpoint for (cfg, footprint) the preconditioning phase
+// is restored from disk instead of simulated, and a freshly simulated warm-up
+// is published back for later processes. A nil or directory-less cache
+// degrades to RunObserved exactly. Cache publication failures are counted in
+// the cache's Stats but never fail the run.
+func RunCachedObserved(cfg ssd.Config, profile workload.Profile, requests int, seed int64,
+	wc *WarmupCache, attach func(*ssd.Controller) obs.Recorder) (ssd.Result, error) {
+	if !wc.enabled() {
+		return RunObserved(cfg, profile, requests, seed, attach)
+	}
+	c, err := ssd.Build(cfg)
+	if err != nil {
+		return ssd.Result{}, fmt.Errorf("expt: build %s: %w", cfg.FTL, err)
+	}
+	defer c.Close()
+	if !wc.LoadInto(c, cfg, profile.FootprintBytes) {
+		if err := c.PreconditionBytes(profile.FootprintBytes); err != nil {
+			return ssd.Result{}, fmt.Errorf("expt: precondition %s/%s: %w", cfg.FTL, profile.Name, err)
+		}
+		wc.Stats.noteWarmup()
+		_ = wc.Save(c, cfg, profile.FootprintBytes)
+	}
 	return resumeObserved(c, cfg, profile, requests, seed, attach)
 }
 
@@ -343,14 +383,16 @@ func runCell(j job, opt Options, warmed *ssd.Controller) (ssd.Result, error) {
 }
 
 // runAll executes jobs on a bounded worker pool: exactly opt.Workers
-// goroutines pull from a shared channel, so a 60-cell sweep does not spawn 60
-// goroutines (each run pins megabytes of simulator state). Jobs sharing a
-// (config, footprint) warm-up prefix are grouped; a group simulates the
-// warm-up once, checkpoints it, and forks each cell from the checkpoint
-// (see runGroup). Completed cells stream their Result to a single aggregator
-// goroutine immediately, so no worker holds simulator state while waiting for
-// the sweep to end. After the first failure the remaining queue drains
-// without running.
+// goroutines pull from a shared task queue, so a 60-cell sweep does not spawn
+// 60 goroutines (each run pins megabytes of simulator state). Jobs sharing a
+// (config, footprint) warm-up prefix are grouped; a group obtains the warm
+// state once — from the persistent cache when opt.WarmupCache hits, from one
+// fresh warm-up otherwise — and fans its remaining cells back out to the pool
+// as fork tasks, each restoring the group's shared checkpoint on whichever
+// worker picks it up (see runGroupTask / runForkTask). Completed cells stream
+// their Result to a single aggregator goroutine immediately, so no worker
+// holds simulator state while waiting for the sweep to end. After the first
+// failure the remaining queue drains without running.
 func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 	opt.setDefaults()
 	// Per-cell timing shards: jobs that don't pin their own shard count
@@ -442,28 +484,60 @@ func runAll(jobs []job, opt Options) (map[string]ssd.Result, error) {
 		opt.progress("done %-28s mean=%8.3f ms  sdrpp=%5.2f  gc=%d", j.key, res.MeanRespMs, res.SDRPP, res.GCRuns)
 	}
 
-	ch := make(chan []job)
+	sc := &sweepCtx{
+		opt:     opt,
+		cache:   &WarmupCache{Dir: opt.WarmupCache, Stats: opt.Stats},
+		stats:   opt.Stats,
+		emit:    emit,
+		fail:    fail,
+		stopped: stopped,
+	}
+	// The queue holds every group task up front plus, transiently, the fork
+	// tasks groups fan back out — at most one per job — so the buffer below
+	// means no send ever blocks. pending counts queued-but-undrained tasks;
+	// whichever worker drains the last one closes the queue. A group task
+	// enqueues its forks before its own done(), so pending cannot touch zero
+	// while work is still being produced.
+	tasks := make(chan task, len(jobs)+len(groups))
+	pending := int64(len(groups))
+	done := func() {
+		if atomic.AddInt64(&pending, -1) == 0 {
+			close(tasks)
+		}
+	}
+	sc.enqueue = func(t task) {
+		atomic.AddInt64(&pending, 1)
+		tasks <- t
+	}
+	for _, g := range groups {
+		tasks <- task{group: g}
+	}
+	if len(groups) == 0 {
+		close(tasks)
+	}
 	var wg sync.WaitGroup
+	// Cap at the job count, not the group count: a single-config sweep is one
+	// group, but its forked cells spread across every worker.
 	workers := opt.Workers
-	if workers > len(groups) {
-		workers = len(groups)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for g := range ch {
-				if stopped() {
-					continue // drain the queue without running
+			var ws workerState
+			defer ws.close()
+			for t := range tasks {
+				if t.group != nil {
+					runGroupTask(sc, &ws, t.group)
+				} else {
+					runForkTask(sc, &ws, t)
 				}
-				runGroup(g, opt, emit, fail, stopped)
+				done()
 			}
 		}()
 	}
-	for _, g := range groups {
-		ch <- g
-	}
-	close(ch)
 	wg.Wait()
 	close(resCh)
 	<-aggDone

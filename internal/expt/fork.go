@@ -6,26 +6,9 @@ import (
 	"dloop/internal/ssd"
 )
 
-// warmupKey identifies the warm-up prefix a cell shares with others: the full
-// simulator configuration plus the preconditioned footprint. Cells with equal
-// keys reach bit-identical simulator states after warm-up, so one checkpoint
-// can seed them all. Geometry and Timing are compared by value, not by
-// pointer, so two configs built independently still coalesce.
-func warmupKey(j job) string {
-	cfg := j.cfg
-	var geo, tim string
-	if cfg.Geometry != nil {
-		geo = fmt.Sprintf("%+v", *cfg.Geometry)
-	}
-	if cfg.Timing != nil {
-		tim = fmt.Sprintf("%+v", *cfg.Timing)
-	}
-	cfg.Geometry, cfg.Timing = nil, nil
-	return fmt.Sprintf("%+v|%s|%s|%d", cfg, geo, tim, j.profile.FootprintBytes)
-}
-
-// groupJobs partitions a sweep into warm-up groups, preserving submission
-// order within each group. With NoFork every job is its own group.
+// groupJobs partitions a sweep into warm-up groups — cells whose WarmupKey
+// matches share one warm-up prefix — preserving submission order within each
+// group. With NoFork every job is its own group.
 func groupJobs(jobs []job, opt Options) [][]job {
 	if opt.NoFork {
 		out := make([][]job, len(jobs))
@@ -37,7 +20,7 @@ func groupJobs(jobs []job, opt Options) [][]job {
 	idx := make(map[string]int)
 	var out [][]job
 	for _, j := range jobs {
-		k := warmupKey(j)
+		k := WarmupKey(j.cfg, j.profile.FootprintBytes)
 		if i, ok := idx[k]; ok {
 			out[i] = append(out[i], j)
 		} else {
@@ -48,59 +31,163 @@ func groupJobs(jobs []job, opt Options) [][]job {
 	return out
 }
 
-// runGroup executes one warm-up group on the calling worker goroutine. A
-// singleton group runs as a plain fresh cell. A larger group builds and
-// preconditions one simulator, checkpoints it, runs the first cell directly
-// off the warm state, and restores the checkpoint before each further cell —
-// the warm-up is simulated once instead of len(g) times, and every fork is
-// bit-identical to a fresh run (see TestForkMatchesNoFork and the ssd
-// package's TestForkBitIdentical). Results stream out through emit as each
-// cell completes; nothing is retained here. If the FTL cannot checkpoint,
-// the group degrades to per-cell fresh runs.
-func runGroup(g []job, opt Options, emit func(job, ssd.Result), fail func(error), stopped func() bool) {
+// task is one unit of worker-pool work: either a whole warm-up group (load or
+// simulate the warm-up, run the lead cell, fan the rest out) or one forked
+// cell restoring a group's shared checkpoint.
+type task struct {
+	group []job
+	cell  job
+	fork  *forkGroup
+}
+
+// forkGroup is the shared, immutable fork source for one group's re-enqueued
+// cells. Restore clones state out of cp, never into it, so any number of
+// workers fork from the same checkpoint concurrently.
+type forkGroup struct {
+	key string
+	cfg ssd.Config
+	cp  *ssd.Checkpoint
+}
+
+// workerState caches one built controller per worker goroutine, keyed by
+// WarmupKey. Consecutive fork cells of the same group landing on the same
+// worker skip ssd.Build — a restore into the cached controller reuses every
+// slab the previous cell allocated — which is where most of the fork path's
+// allocations go away.
+type workerState struct {
+	key string
+	c   *ssd.Controller
+}
+
+func (ws *workerState) set(key string, c *ssd.Controller) {
+	if ws.c != nil && ws.c != c {
+		ws.c.Close()
+	}
+	ws.key, ws.c = key, c
+}
+
+func (ws *workerState) close() {
+	if ws.c != nil {
+		ws.c.Close()
+		ws.c = nil
+		ws.key = ""
+	}
+}
+
+// sweepCtx carries one runAll invocation's shared plumbing to the tasks.
+type sweepCtx struct {
+	opt     Options
+	cache   *WarmupCache
+	stats   *SweepStats
+	emit    func(job, ssd.Result)
+	fail    func(error)
+	stopped func() bool
+	enqueue func(task)
+}
+
+// runGroupTask executes one warm-up group. A singleton group with no cache
+// runs as a plain fresh cell. Otherwise the group's warm-up state comes from
+// the persistent cache when it can (decode + restore instead of simulating
+// the prefix) and from one fresh warm-up otherwise, which is then published
+// to the cache. Every remaining cell of the group re-enqueues to the worker
+// pool as a fork task before the lead cell runs, so idle workers fork from
+// the shared checkpoint concurrently instead of the group running serially on
+// one worker. Forked, cached, and fresh runs are bit-identical (see
+// TestForkMatchesNoFork and TestCachedSweepMatchesNoFork). If the FTL cannot
+// checkpoint, the group degrades to per-cell fresh runs.
+func runGroupTask(sc *sweepCtx, ws *workerState, g []job) {
 	runFresh := func(g []job) {
 		for _, j := range g {
-			if stopped() {
+			if sc.stopped() {
 				return
 			}
-			res, err := runJob(j, opt)
+			res, err := runJob(j, sc.opt)
 			if err != nil {
-				fail(err)
+				sc.fail(err)
 				return
 			}
-			emit(j, res)
+			sc.stats.noteFresh()
+			sc.emit(j, res)
 		}
 	}
-	if len(g) == 1 {
+	if sc.opt.NoFork || (len(g) == 1 && !sc.cache.enabled()) {
 		runFresh(g)
 		return
 	}
-	c, err := buildWarm(g[0].cfg, g[0].profile)
-	if err != nil {
-		fail(err)
+	if sc.stopped() {
 		return
 	}
-	defer c.Close()
-	cp, err := c.Snapshot()
+	lead := g[0]
+	key := WarmupKey(lead.cfg, lead.profile.FootprintBytes)
+	c, cp, err := sc.cache.load(lead.cfg, key)
 	if err != nil {
-		runFresh(g) // FTL without checkpoint support
+		sc.fail(err)
 		return
 	}
-	for i, j := range g {
-		if stopped() {
-			return
-		}
-		if i > 0 {
-			if err := c.Restore(cp); err != nil {
-				fail(fmt.Errorf("expt: restore %s/%s: %w", j.cfg.FTL, j.profile.Name, err))
-				return
-			}
-		}
-		res, err := runCell(j, opt, c)
+	hit := c != nil
+	if !hit {
+		c, err = buildWarm(lead.cfg, lead.profile)
 		if err != nil {
-			fail(err)
+			sc.fail(err)
 			return
 		}
-		emit(j, res)
+		sc.stats.noteWarmup()
+		cp, err = c.Snapshot()
+		if err != nil { // FTL without checkpoint support
+			c.Close()
+			runFresh(g)
+			return
+		}
+		sc.cache.store(key, c, cp)
 	}
+	// Park the warm controller in the worker's cache: fork cells of this
+	// group landing back here restore into it instead of rebuilding.
+	ws.set(key, c)
+	fg := &forkGroup{key: key, cfg: lead.cfg, cp: cp}
+	for _, j := range g[1:] {
+		sc.enqueue(task{cell: j, fork: fg})
+	}
+	res, err := runCell(lead, sc.opt, c)
+	if err != nil {
+		sc.fail(err)
+		return
+	}
+	if hit {
+		sc.stats.noteForked()
+	} else {
+		sc.stats.noteFresh()
+	}
+	sc.emit(lead, res)
+}
+
+// runForkTask executes one forked cell: restore the group's shared checkpoint
+// into this worker's controller (rebuilding only if the worker last served a
+// different configuration) and replay the measured window.
+func runForkTask(sc *sweepCtx, ws *workerState, t task) {
+	if sc.stopped() {
+		return
+	}
+	fg := t.fork
+	if ws.c == nil || ws.key != fg.key {
+		c, err := ssd.Build(fg.cfg)
+		if err != nil {
+			sc.fail(fmt.Errorf("expt: build %s: %w", fg.cfg.FTL, err))
+			return
+		}
+		ws.set(fg.key, c)
+		sc.stats.noteForkRebuild()
+	} else {
+		sc.stats.noteForkReuse()
+	}
+	if err := ws.c.Restore(fg.cp); err != nil {
+		sc.fail(fmt.Errorf("expt: restore %s/%s: %w", t.cell.cfg.FTL, t.cell.profile.Name, err))
+		return
+	}
+	res, err := runCell(t.cell, sc.opt, ws.c)
+	if err != nil {
+		sc.fail(err)
+		return
+	}
+	sc.stats.noteForked()
+	sc.emit(t.cell, res)
 }

@@ -1,0 +1,143 @@
+package flash
+
+import (
+	"dloop/internal/ckpt"
+	"dloop/internal/sim"
+)
+
+// EncodeDeviceState appends a DeviceState to w. The big columns (page
+// states, OOB logical tags, block bookkeeping) go out as contiguous
+// length-prefixed slabs; the resource timelines follow per unit.
+func EncodeDeviceState(w *ckpt.Writer, s *DeviceState) {
+	dst := w.Raw(4 + len(s.state))
+	putU32(dst, uint32(len(s.state)))
+	for i, v := range s.state {
+		dst[4+i] = byte(v)
+	}
+	w.I64s(s.lpns)
+	w.U32(uint32(len(s.blocks)))
+	for _, b := range s.blocks {
+		w.I32(int32(b.Valid))
+		w.I32(int32(b.Invalid))
+		w.I32(int32(b.Written))
+		w.I32(int32(b.Erases))
+		w.I32(int32(b.NextWrite))
+	}
+	encodeResources(w, s.planes)
+	encodeResources(w, s.chipBus)
+	encodeResources(w, s.channels)
+	encodeStats(w, &s.stats)
+}
+
+// DecodeDeviceState reads a DeviceState written by EncodeDeviceState and
+// validates the column lengths against geo, so a checkpoint from a
+// different device shape fails cleanly instead of half-restoring.
+func DecodeDeviceState(r *ckpt.Reader, geo Geometry) *DeviceState {
+	s := &DeviceState{}
+	n := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	raw := r.Raw(n)
+	if raw == nil {
+		return nil
+	}
+	s.state = make([]PageState, n)
+	for i, v := range raw {
+		s.state[i] = PageState(v)
+	}
+	s.lpns = r.I64s()
+	nb := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	s.blocks = make([]BlockInfo, nb)
+	for i := range s.blocks {
+		s.blocks[i] = BlockInfo{
+			Valid:     int(r.I32()),
+			Invalid:   int(r.I32()),
+			Written:   int(r.I32()),
+			Erases:    int(r.I32()),
+			NextWrite: int(r.I32()),
+		}
+	}
+	s.planes = decodeResources(r)
+	s.chipBus = decodeResources(r)
+	s.channels = decodeResources(r)
+	decodeStats(r, &s.stats)
+	if r.Err() != nil {
+		return nil
+	}
+	if int64(len(s.state)) != geo.TotalPages() || int64(len(s.lpns)) != geo.TotalPages() ||
+		int64(len(s.blocks)) != geo.TotalBlocks() || len(s.planes) != geo.Planes() ||
+		len(s.chipBus) != geo.Chips() || len(s.channels) != geo.Channels ||
+		len(s.stats.PlaneOps) != geo.Planes() || int64(len(s.stats.BlockErases)) != geo.TotalBlocks() {
+		r.Failf("flash: device state does not match geometry %s", geo)
+		return nil
+	}
+	return s
+}
+
+func putU32(dst []byte, v uint32) {
+	dst[0] = byte(v)
+	dst[1] = byte(v >> 8)
+	dst[2] = byte(v >> 16)
+	dst[3] = byte(v >> 24)
+}
+
+func encodeResources(w *ckpt.Writer, rs []sim.ResourceState) {
+	w.U32(uint32(len(rs)))
+	for _, s := range rs {
+		sim.EncodeResourceState(w, s)
+	}
+}
+
+func decodeResources(r *ckpt.Reader) []sim.ResourceState {
+	n := int(r.U32())
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]sim.ResourceState, n)
+	for i := range out {
+		out[i] = sim.DecodeResourceState(r)
+	}
+	return out
+}
+
+func encodeStats(w *ckpt.Writer, s *Stats) {
+	for op := opKind(0); op < numOps; op++ {
+		for c := Cause(0); c < numCauses; c++ {
+			w.I64(s.ops[op][c])
+			w.I64(int64(s.latency[op][c]))
+		}
+	}
+	w.U32(uint32(len(s.PlaneOps)))
+	for _, p := range s.PlaneOps {
+		for c := Cause(0); c < numCauses; c++ {
+			w.I64(p[c])
+		}
+	}
+	w.I32s(s.BlockErases)
+	w.I64(s.WastedPages)
+}
+
+func decodeStats(r *ckpt.Reader, s *Stats) {
+	for op := opKind(0); op < numOps; op++ {
+		for c := Cause(0); c < numCauses; c++ {
+			s.ops[op][c] = r.I64()
+			s.latency[op][c] = sim.Duration(r.I64())
+		}
+	}
+	n := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	s.PlaneOps = make([][numCauses]int64, n)
+	for i := range s.PlaneOps {
+		for c := Cause(0); c < numCauses; c++ {
+			s.PlaneOps[i][c] = r.I64()
+		}
+	}
+	s.BlockErases = r.I32s()
+	s.WastedPages = r.I64()
+}

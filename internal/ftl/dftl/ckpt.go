@@ -1,0 +1,54 @@
+package dftl
+
+import (
+	"fmt"
+
+	"dloop/internal/ckpt"
+	"dloop/internal/flash"
+	"dloop/internal/ftl"
+	"dloop/internal/ftl/gc"
+	"dloop/internal/ftl/translate"
+)
+
+// EncodeState appends a DFTL Snapshot (the any returned by Snapshot) to w.
+func EncodeState(w *ckpt.Writer, snap any) error {
+	s, ok := snap.(*state)
+	if !ok {
+		return fmt.Errorf("dftl: foreign snapshot %T", snap)
+	}
+	translate.EncodeState(w, s.mapper)
+	ftl.EncodeFreeBlocksState(w, s.pool)
+	ftl.EncodeTrackerState(w, s.tracker)
+	encodeWritePoint(w, s.data)
+	encodeWritePoint(w, s.trans)
+	gc.EncodeState(w, s.engine)
+	return nil
+}
+
+// DecodeState reads a snapshot written by EncodeState, in the form
+// DFTL.Restore accepts.
+func DecodeState(r *ckpt.Reader) any {
+	return &state{
+		mapper:  translate.DecodeState(r),
+		pool:    ftl.DecodeFreeBlocksState(r),
+		tracker: ftl.DecodeTrackerState(r),
+		data:    decodeWritePoint(r),
+		trans:   decodeWritePoint(r),
+		engine:  gc.DecodeState(r),
+	}
+}
+
+func encodeWritePoint(w *ckpt.Writer, wp writePoint) {
+	w.Int(wp.pb.Plane)
+	w.Int(wp.pb.Block)
+	w.Int(wp.next)
+	w.Bool(wp.active)
+}
+
+func decodeWritePoint(r *ckpt.Reader) writePoint {
+	return writePoint{
+		pb:     flash.PlaneBlock{Plane: r.Int(), Block: r.Int()},
+		next:   r.Int(),
+		active: r.Bool(),
+	}
+}

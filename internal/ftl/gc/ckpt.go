@@ -1,0 +1,29 @@
+package gc
+
+import "dloop/internal/ckpt"
+
+// EncodeState appends an engine State to w.
+func EncodeState(w *ckpt.Writer, s State) {
+	w.Int(s.depth)
+	w.Bools(s.collecting)
+	w.I64(s.stats.Runs)
+	w.I64(s.stats.Moves)
+	w.I64(s.stats.CopyBacks)
+	w.I64(s.stats.External)
+	w.I64(s.stats.ParityWaste)
+}
+
+// DecodeState reads a State written by EncodeState.
+func DecodeState(r *ckpt.Reader) State {
+	return State{
+		depth:      r.Int(),
+		collecting: r.Bools(),
+		stats: Stats{
+			Runs:        r.I64(),
+			Moves:       r.I64(),
+			CopyBacks:   r.I64(),
+			External:    r.I64(),
+			ParityWaste: r.I64(),
+		},
+	}
+}

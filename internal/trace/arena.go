@@ -22,10 +22,25 @@ type Arena struct {
 	stats   Stats
 }
 
+// sizeHinter is implemented by readers that can estimate how many requests
+// they will produce (DiskSimReader and SPCReader over sized sources).
+// BuildArena preallocates the arena columns from it.
+type sizeHinter interface{ SizeHint() int }
+
 // BuildArena drains a Reader into a new Arena. The reader's error, if any,
-// is returned with however many requests parsed before it.
+// is returned with however many requests parsed before it. When the reader
+// can estimate its request count, the four columns are preallocated once
+// instead of grown-and-copied across the parse.
 func BuildArena(r Reader) (*Arena, error) {
 	a := &Arena{}
+	if h, ok := r.(sizeHinter); ok {
+		if n := h.SizeHint(); n > 0 {
+			a.arrival = make([]sim.Time, 0, n)
+			a.lbn = make([]int64, 0, n)
+			a.sectors = make([]int32, 0, n)
+			a.ops = make([]uint8, 0, n)
+		}
+	}
 	a.stats.MinLBN = -1
 	for {
 		req, err := r.Next()

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -203,6 +204,44 @@ func TestOpenArenaFormats(t *testing.T) {
 	}
 	if got := DetectFormat("websearch.ascii"); got != FormatDiskSim {
 		t.Fatalf("DetectFormat(.ascii) = %q", got)
+	}
+}
+
+// TestBuildArenaAllocBound pins the parse-time allocation profile: with a
+// sized source the columns preallocate from the reader's SizeHint, so one
+// full parse costs a fixed handful of allocations (reader + scanner buffer +
+// field scratch + arena + 4 columns) regardless of trace length. Regrowing
+// columns mid-parse would blow well past the bound.
+func TestBuildArenaAllocBound(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDiskSim(&buf, genRequests(10000, 5)); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.Bytes()
+	allocs := testing.AllocsPerRun(5, func() {
+		a, err := BuildArena(NewDiskSimReader(bytes.NewReader(text)))
+		if err != nil || a.Len() != 10000 {
+			t.Fatalf("n=%d err=%v", a.Len(), err)
+		}
+	})
+	if allocs > 14 {
+		t.Fatalf("BuildArena did %.0f allocs for a sized source, want <= 14", allocs)
+	}
+}
+
+// TestSizeHint checks both readers estimate from sized sources and degrade
+// to 0 (plain appending) on unsized streams.
+func TestSizeHint(t *testing.T) {
+	data := strings.Repeat("x", 1600)
+	if got := NewDiskSimReader(strings.NewReader(data)).SizeHint(); got != 100 {
+		t.Fatalf("DiskSim SizeHint = %d, want 100", got)
+	}
+	if got := NewSPCReader(bytes.NewReader([]byte(data))).SizeHint(); got != 100 {
+		t.Fatalf("SPC SizeHint = %d, want 100", got)
+	}
+	unsized := io.MultiReader(strings.NewReader(data))
+	if got := NewDiskSimReader(unsized).SizeHint(); got != 0 {
+		t.Fatalf("unsized SizeHint = %d, want 0", got)
 	}
 }
 

@@ -31,6 +31,7 @@ func isEOF(err error) bool { return errors.Is(err, io.EOF) }
 type DiskSimReader struct {
 	s      *bufio.Scanner
 	line   int
+	hint   int      // estimated request count, 0 if unknown
 	fields [][]byte // reused per-line field scratch
 }
 
@@ -38,8 +39,12 @@ type DiskSimReader struct {
 func NewDiskSimReader(r io.Reader) *DiskSimReader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &DiskSimReader{s: s}
+	return &DiskSimReader{s: s, hint: lineCountHint(r)}
 }
+
+// SizeHint reports the estimated number of requests in the stream (0 when
+// the source's size is unknown), so BuildArena can preallocate its columns.
+func (r *DiskSimReader) SizeHint() int { return r.hint }
 
 // Next implements Reader.
 func (r *DiskSimReader) Next() (Request, error) {

@@ -26,6 +26,7 @@ import (
 type SPCReader struct {
 	s      *bufio.Scanner
 	line   int
+	hint   int      // estimated request count, 0 if unknown
 	fields [][]byte // reused per-line field scratch
 }
 
@@ -33,8 +34,12 @@ type SPCReader struct {
 func NewSPCReader(r io.Reader) *SPCReader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &SPCReader{s: s}
+	return &SPCReader{s: s, hint: lineCountHint(r)}
 }
+
+// SizeHint reports the estimated number of requests in the stream (0 when
+// the source's size is unknown), so BuildArena can preallocate its columns.
+func (r *SPCReader) SizeHint() int { return r.hint }
 
 // Next implements Reader.
 func (r *SPCReader) Next() (Request, error) {

@@ -6,12 +6,38 @@ package trace
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"dloop/internal/sim"
 )
 
 // SectorSize is the addressing granularity of host requests, in bytes.
 const SectorSize = 512
+
+// minTraceLineBytes is the lower-bound line length lineCountHint divides by.
+// Real trace lines run 20-40 bytes; dividing by a low bound overestimates the
+// request count slightly, which is the right direction for a preallocation —
+// the columns never grow-and-copy, and the slack is no larger than the slack
+// append's doubling would have left anyway.
+const minTraceLineBytes = 16
+
+// lineCountHint estimates how many lines a trace source holds, from its byte
+// size when the source exposes one: in-memory readers (bytes.Reader,
+// strings.Reader, bytes.Buffer) via Len, regular files via Stat. Unsized
+// sources (pipes, sockets) report 0 and parsing falls back to appending.
+func lineCountHint(r io.Reader) int {
+	var size int64
+	switch s := r.(type) {
+	case interface{ Len() int }:
+		size = int64(s.Len())
+	case interface{ Stat() (os.FileInfo, error) }:
+		if info, err := s.Stat(); err == nil && info.Mode().IsRegular() {
+			size = info.Size()
+		}
+	}
+	return int(size / minTraceLineBytes)
+}
 
 // Op distinguishes reads from writes.
 type Op uint8

@@ -82,7 +82,7 @@ run_bench -run '^$' -bench '^(BenchmarkSimulateThroughput(Observed(MQ)?)?|Benchm
     -benchmem -benchtime "$benchtime" -count "$count" .
 run_bench -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
     ./internal/sim/ ./internal/flash/ ./internal/ftl/ ./internal/ftl/translate/ \
-    ./internal/workload/ ./internal/trace/ ./internal/expt/
+    ./internal/workload/ ./internal/trace/ ./internal/expt/ ./internal/ssd/
 cat "$raw"
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
